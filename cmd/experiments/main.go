@@ -1,0 +1,48 @@
+// Command experiments runs the EXPERIMENTS.md capture: every paper
+// table on a configurable slice of the scaled benchmark suite. It is
+// the harness behind the committed EXPERIMENTS.md numbers.
+//
+// Usage:
+//
+//	experiments [-scale 8] [-circuits 5] [-ilptime 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/coloring"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "suite shrink factor")
+	ncirc := flag.Int("circuits", 6, "how many of the six circuits to run")
+	ilpTime := flag.Duration("ilptime", 10*time.Second, "ILP time limit")
+	flag.Parse()
+
+	circuits := bench.ScaledSuite(*scale)
+	if *ncirc < len(circuits) {
+		circuits = circuits[:*ncirc]
+	}
+	fmt.Printf("suite: scale 1/%d, %d circuits, ILP limit %v\n\n", *scale, len(circuits), *ilpTime)
+
+	emit := func(t *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+	start := time.Now()
+	emit(bench.Table1(circuits), nil)
+	emit(bench.Table2(), nil)
+	emit(bench.TableIIIIV(circuits, coloring.SIM, *ilpTime))
+	emit(bench.TableIIIIV(circuits, coloring.SID, *ilpTime))
+	emit(bench.TableV(circuits, *ilpTime))
+	emit(bench.TableVIVII(circuits, coloring.SIM, *ilpTime))
+	emit(bench.TableVIVII(circuits, coloring.SID, *ilpTime))
+	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,115 @@
+// Command sadproute runs the full SADP-aware detailed routing flow on
+// a netlist file, optionally followed by post-routing TPL-aware DVI.
+//
+// Usage:
+//
+//	sadproute -in circuit.net [-sadp sim|sid] [-dvi] [-tpl]
+//	          [-method heur|ilp|none] [-ilptime 60s] [-check]
+//
+// It prints the metrics the paper's tables report: wirelength, via
+// count, routing CPU, dead via count (#DV) and uncolorable via count
+// (#UV).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/dvi"
+	"repro/internal/netlist"
+
+	sadproute "repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input netlist file (required)")
+	sadp := flag.String("sadp", "sim", "SADP type: sim or sid")
+	considerDVI := flag.Bool("dvi", false, "consider DVI during routing (BDC/AMC/CDC)")
+	considerTPL := flag.Bool("tpl", false, "consider via-layer TPL during routing")
+	method := flag.String("method", "heur", "post-routing DVI: heur, ilp, or none")
+	ilpTime := flag.Duration("ilptime", time.Minute, "ILP time limit")
+	check := flag.Bool("check", false, "run the SADP mask decomposition DRC on the result")
+	seed := flag.Int64("seed", 0, "tie-breaking seed")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	nl, err := netlist.Read(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	typ := coloring.SIM
+	switch *sadp {
+	case "sim":
+	case "sid":
+		typ = coloring.SID
+	default:
+		fail(fmt.Errorf("unknown -sadp %q", *sadp))
+	}
+
+	start := time.Now()
+	res, err := sadproute.Route(nl, sadproute.Config{
+		SADP:        typ,
+		ConsiderDVI: *considerDVI,
+		ConsiderTPL: *considerTPL,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	routeCPU := time.Since(start)
+	st := res.Stats
+	fmt.Printf("circuit %s: %d nets, %dx%d grid, %s SADP\n", nl.Name, len(nl.Nets), nl.W, nl.H, typ)
+	fmt.Printf("routability %.0f%%  WL %d  #Vias %d  CPU %.2fs  (R&R %d, TPL-R&R %d, FVPs resolved %d)\n",
+		st.Routability*100, st.Wirelength, st.Vias, routeCPU.Seconds(),
+		st.RRIterations, st.TPLRRIterations, st.FVPsResolved)
+
+	var sol *dvi.Solution
+	switch *method {
+	case "none":
+	case "heur":
+		sol, err = res.InsertDoubleVias(sadproute.Heuristic, 0)
+	case "ilp":
+		sol, err = res.InsertDoubleVias(sadproute.ILP, *ilpTime)
+	default:
+		fail(fmt.Errorf("unknown -method %q", *method))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if sol != nil {
+		fmt.Printf("DVI (%s): inserted %d  #DV %d  #UV %d\n", *method, sol.InsertedCount, sol.DeadVias, sol.Uncolorable)
+	}
+
+	if *check {
+		dec := res.CheckDecomposition()
+		hard := dec.HardViolations()
+		fmt.Printf("decomposition check: %d hard violations, %d findings total\n", len(hard), len(dec.Violations))
+		for i, v := range hard {
+			if i >= 10 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %v\n", v)
+		}
+		if len(hard) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sadproute: %v\n", err)
+	os.Exit(1)
+}

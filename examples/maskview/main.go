@@ -1,0 +1,57 @@
+// maskview routes a small circuit and renders everything as ASCII art:
+// both metal layers, the via layer with FVP markers, the TPL coloring
+// of the vias, and the synthesized SADP masks (mandrel / spacer wires
+// / cut shapes) of each layer.
+//
+// Run with: go run ./examples/maskview
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tpl"
+	"repro/internal/viz"
+
+	sadproute "repro"
+)
+
+func main() {
+	nl := &netlist.Netlist{Name: "maskview", W: 20, H: 12, NumLayers: 2, Nets: []*netlist.Net{
+		{ID: 0, Name: "a", Pins: []geom.Pt{geom.XY(1, 2), geom.XY(16, 8)}},
+		{ID: 1, Name: "b", Pins: []geom.Pt{geom.XY(2, 9), geom.XY(17, 3)}},
+		{ID: 2, Name: "c", Pins: []geom.Pt{geom.XY(4, 1), geom.XY(4, 10), geom.XY(12, 6)}},
+		{ID: 3, Name: "d", Pins: []geom.Pt{geom.XY(8, 2), geom.XY(14, 10)}},
+	}}
+	res, err := sadproute.Route(nl, sadproute.Config{
+		SADP: coloring.SID, ConsiderDVI: true, ConsiderTPL: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pins []geom.Pt
+	for _, n := range nl.Nets {
+		pins = append(pins, n.Pins...)
+	}
+	opt := viz.Options{Pins: pins}
+	for l := 0; l < res.Grid.NumLayers; l++ {
+		fmt.Println(viz.Layer(res.Grid, l, opt))
+	}
+	fmt.Println(viz.ViaLayer(res.Grid, 0, opt))
+
+	graph := tpl.FromLayer(res.Grid.Vias[0])
+	colors, unc := graph.WelshPowell(tpl.NumColors)
+	fmt.Println(viz.Coloring(res.Grid, 0, graph, colors, opt))
+	fmt.Printf("uncolorable vias: %d\n\n", len(unc))
+
+	dec := res.CheckDecomposition()
+	for _, m := range dec.Layers {
+		fmt.Println(viz.Masks(res.Grid, m, opt))
+	}
+	fmt.Printf("mask DRC: %d hard violations, %d findings\n",
+		len(dec.HardViolations()), len(dec.Violations))
+}

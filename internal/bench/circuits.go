@@ -1,0 +1,151 @@
+// Package bench defines the benchmark suite and the experiment harness
+// that regenerates every table of the paper's evaluation (§IV).
+//
+// The paper evaluates on six circuits from PARR [18] (Table I), which
+// were never released. This package generates synthetic placed
+// netlists with the same net counts and grid sizes, pin-count and
+// net-span distributions chosen so that routed wirelength per net and
+// via density land in the range the paper reports (≈21 tracks and
+// ≈1.0–1.2 vias per two-pin connection). Circuits are deterministic
+// given the seed, so results are reproducible run to run.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Circuit describes one benchmark's shape (Table I row).
+type Circuit struct {
+	Name string
+	Nets int
+	W, H int
+	Seed int64
+}
+
+// Suite returns the six circuits of Table I at full size.
+func Suite() []Circuit {
+	return []Circuit{
+		{Name: "ecc", Nets: 1671, W: 436, H: 446, Seed: 101},
+		{Name: "efc", Nets: 2219, W: 406, H: 421, Seed: 102},
+		{Name: "ctl", Nets: 2706, W: 496, H: 503, Seed: 103},
+		{Name: "alu", Nets: 3108, W: 406, H: 408, Seed: 104},
+		{Name: "div", Nets: 5813, W: 636, H: 646, Seed: 105},
+		{Name: "top", Nets: 22201, W: 1176, H: 1179, Seed: 106},
+	}
+}
+
+// ScaledSuite shrinks every circuit's dimensions and net count by the
+// factor (area scales quadratically, nets with area so density is
+// preserved). Used for quick runs and CI; factor 1 returns the full
+// suite.
+func ScaledSuite(factor int) []Circuit {
+	if factor <= 1 {
+		return Suite()
+	}
+	full := Suite()
+	out := make([]Circuit, len(full))
+	for i, c := range full {
+		out[i] = Circuit{
+			Name: c.Name + "-s",
+			Nets: max(4, c.Nets/(factor*factor)),
+			W:    max(24, c.W/factor),
+			H:    max(24, c.H/factor),
+			Seed: c.Seed,
+		}
+	}
+	return out
+}
+
+// TinySuite is a three-circuit miniature used by unit tests and the
+// Go benchmarks; small enough for the ILP DVI to finish in seconds.
+func TinySuite() []Circuit {
+	return []Circuit{
+		{Name: "ecc-t", Nets: 26, W: 56, H: 56, Seed: 101},
+		{Name: "efc-t", Nets: 34, W: 52, H: 52, Seed: 102},
+		{Name: "ctl-t", Nets: 42, W: 62, H: 62, Seed: 103},
+	}
+}
+
+// Generate builds the synthetic placed netlist for a circuit.
+//
+// Placement model: each net gets a cluster center; pins scatter in a
+// span window around it. 80% of nets are short/local, 20% span
+// several cluster diameters (the global wiring tail every real design
+// has). Pins are globally distinct, as in a legalized placement.
+func Generate(c Circuit) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(c.Seed))
+	nl := &netlist.Netlist{Name: c.Name, W: c.W, H: c.H, NumLayers: 2}
+	used := map[geom.Pt]bool{}
+	for i := 0; i < c.Nets; i++ {
+		n := &netlist.Net{ID: i, Name: fmt.Sprintf("%s_n%d", c.Name, i)}
+		cx, cy := rng.Intn(c.W), rng.Intn(c.H)
+		var span int
+		if rng.Float64() < 0.8 {
+			span = 3 + rng.Intn(10)
+		} else {
+			span = 12 + rng.Intn(28)
+		}
+		pins := pickPinCount(rng)
+		for tries := 0; len(n.Pins) < pins && tries < 4000; tries++ {
+			p := geom.XY(
+				clampInt(cx+rng.Intn(2*span+1)-span, 0, c.W-1),
+				clampInt(cy+rng.Intn(2*span+1)-span, 0, c.H-1),
+			)
+			if !used[p] {
+				used[p] = true
+				n.Pins = append(n.Pins, p)
+			}
+		}
+		if len(n.Pins) < 2 {
+			// Pathologically crowded cluster: fall back to anywhere.
+			for len(n.Pins) < 2 {
+				p := geom.XY(rng.Intn(c.W), rng.Intn(c.H))
+				if !used[p] {
+					used[p] = true
+					n.Pins = append(n.Pins, p)
+				}
+			}
+		}
+		nl.Nets = append(nl.Nets, n)
+	}
+	if err := nl.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: generated invalid netlist: %v", err))
+	}
+	return nl
+}
+
+// pickPinCount draws from a 2-heavy distribution (2: 60%, 3: 25%,
+// 4: 10%, 5: 5%), matching typical standard-cell netlists.
+func pickPinCount(rng *rand.Rand) int {
+	switch r := rng.Float64(); {
+	case r < 0.60:
+		return 2
+	case r < 0.85:
+		return 3
+	case r < 0.95:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

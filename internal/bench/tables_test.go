@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "1"}, {"y", "22"}},
+	}
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	// Columns align: all data lines have equal width.
+	if len(lines[1]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned table:\n%s", s)
+	}
+}
+
+func TestTableVRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the router and ILP")
+	}
+	tbl, err := TableV(TinySuite()[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "[36]") || !strings.Contains(s, "this") {
+		t.Errorf("Table V missing parameter rows:\n%s", s)
+	}
+}
+
+func TestTableVIVIIRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the router and ILP")
+	}
+	for _, typ := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+		tbl, err := TableVIVII(TinySuite()[:1], typ, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tbl.String()
+		if !strings.Contains(s, "ILP") || !strings.Contains(s, "Heur") {
+			t.Errorf("Table VI/VII missing columns:\n%s", s)
+		}
+		// The heuristic must report zero uncolorable vias.
+		for _, line := range strings.Split(s, "\n") {
+			f := strings.Fields(line)
+			if len(f) == 7 && f[0] == TinySuite()[0].Name {
+				if f[5] != "0" {
+					t.Errorf("heuristic #UV = %s, want 0", f[5])
+				}
+			}
+		}
+	}
+}
+
+func TestRunSpecUnknownMethod(t *testing.T) {
+	nl := Generate(TinySuite()[0])
+	if _, _, err := Run(nl, RunSpec{Scheme: coloring.SIM, Method: DVIMethod(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

@@ -1,0 +1,267 @@
+// Package coloring implements the color pre-assignment approach for
+// SADP-aware detailed routing (paper §II-B, Fig 4).
+//
+// Before detailed routing the multi-layer routing grid is assigned
+// colors. In SIM-type SADP, panels (the areas between adjacent grid
+// lines) are colored grey and white alternately in both directions and
+// mandrel patterns must be centered in grey panels. In SID-type SADP,
+// routing tracks are colored black and grey alternately and mandrels
+// run along black tracks. Because the colored grid fixes where mandrel
+// and cut/trim mask patterns may be formed, the SADP layout
+// decomposition of any routed pattern is known the moment the pattern
+// is created, and every L-shaped metal pattern can be classified as a
+// preferred, non-preferred, or forbidden turn in O(1).
+//
+// The published description of [20]'s turn tables is by example
+// (Fig 4); this package encodes a parity-based classifier with the same
+// structure — at every grid point exactly one corner orientation is
+// preferred, the diagonally opposite one is non-preferred, and the
+// remaining two are forbidden — together with the one-unit-extension
+// exception of Fig 6(a) used by double via insertion feasibility. The
+// classifier is the single source of truth for both the router (which
+// never creates a forbidden turn) and DVI feasibility.
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// SADPType selects the SADP process flavor.
+type SADPType uint8
+
+const (
+	// SIM is spacer-is-metal SADP with the cut approach.
+	SIM SADPType = iota
+	// SID is spacer-is-dielectric SADP with the trim approach.
+	SID
+)
+
+func (t SADPType) String() string {
+	switch t {
+	case SIM:
+		return "SIM"
+	case SID:
+		return "SID"
+	}
+	return fmt.Sprintf("SADPType(%d)", uint8(t))
+}
+
+// TurnClass is the SADP decomposability class of an L-shaped metal
+// pattern (paper §II-B).
+type TurnClass uint8
+
+const (
+	// Preferred turns decompose without any layout degradation.
+	Preferred TurnClass = iota
+	// NonPreferred turns decompose with a degradation (e.g. spacer
+	// rounding) and are discouraged with a routing cost.
+	NonPreferred
+	// Forbidden turns are undecomposable and must never appear in a
+	// routing solution.
+	Forbidden
+)
+
+func (c TurnClass) String() string {
+	switch c {
+	case Preferred:
+		return "preferred"
+	case NonPreferred:
+		return "non-preferred"
+	case Forbidden:
+		return "forbidden"
+	}
+	return fmt.Sprintf("TurnClass(%d)", uint8(c))
+}
+
+// Corner identifies the orientation of an L-shaped turn by the two
+// directions its arms extend from the turning point.
+type Corner uint8
+
+const (
+	// NE: arms extend north and east from the turning point.
+	NE Corner = iota
+	// NW: arms extend north and west.
+	NW
+	// SE: arms extend south and east.
+	SE
+	// SW: arms extend south and west.
+	SW
+	// NumCorners is the number of corner orientations.
+	NumCorners
+)
+
+func (c Corner) String() string {
+	switch c {
+	case NE:
+		return "NE"
+	case NW:
+		return "NW"
+	case SE:
+		return "SE"
+	case SW:
+		return "SW"
+	}
+	return fmt.Sprintf("Corner(%d)", uint8(c))
+}
+
+// Opposite returns the diagonally opposite corner orientation.
+func (c Corner) Opposite() Corner {
+	switch c {
+	case NE:
+		return SW
+	case NW:
+		return SE
+	case SE:
+		return NW
+	case SW:
+		return NE
+	}
+	return c
+}
+
+// Arms returns the vertical and horizontal arm directions of the
+// corner.
+func (c Corner) Arms() (vert, horiz geom.Dir) {
+	switch c {
+	case NE:
+		return geom.North, geom.East
+	case NW:
+		return geom.North, geom.West
+	case SE:
+		return geom.South, geom.East
+	case SW:
+		return geom.South, geom.West
+	}
+	return geom.None, geom.None
+}
+
+// CornerOf returns the corner orientation of a turn whose arms extend
+// in directions d1 and d2 from the turning point. It reports ok=false
+// when the pair is not one horizontal and one vertical planar
+// direction (a straight wire, a via attachment, or a U-turn is not a
+// corner).
+func CornerOf(d1, d2 geom.Dir) (Corner, bool) {
+	if d1.Vertical() && d2.Horizontal() {
+		d1, d2 = d2, d1
+	}
+	if !d1.Horizontal() || !d2.Vertical() {
+		return 0, false
+	}
+	switch {
+	case d2 == geom.North && d1 == geom.East:
+		return NE, true
+	case d2 == geom.North && d1 == geom.West:
+		return NW, true
+	case d2 == geom.South && d1 == geom.East:
+		return SE, true
+	case d2 == geom.South && d1 == geom.West:
+		return SW, true
+	}
+	return 0, false
+}
+
+// PointClass is the color class of a grid point: the pair of
+// coordinate parities (x mod 2, y mod 2), encoded as x&1 | (y&1)<<1.
+// Two points of equal class see identical mandrel geometry in the
+// pre-colored grid, so turn legality and DVI feasibility depend on a
+// via's point class only (paper §II-C).
+type PointClass uint8
+
+// ClassOf returns the color class of grid point p.
+func ClassOf(p geom.Pt) PointClass {
+	return PointClass(p.X&1 | (p.Y&1)<<1)
+}
+
+// NumPointClasses is the number of distinct point classes.
+const NumPointClasses = 4
+
+// preferredCorner[type][class] is the unique preferred corner
+// orientation at each point class. The tables implement the structure
+// of Fig 4: stepping one track in x swaps the east/west arm of the
+// preferred corner and stepping one track in y swaps north/south,
+// because the mandrel side alternates with each track. SID is the SIM
+// table shifted by one track diagonally (its mandrels align to tracks,
+// not panels).
+var preferredCorner = [2][NumPointClasses]Corner{
+	SIM: {NE, NW, SE, SW}, // classes (0,0) (1,0) (0,1) (1,1)
+	SID: {SW, SE, NW, NE},
+}
+
+// Scheme is a pre-assigned coloring of the routing grid for one SADP
+// process type. The zero value is a SIM scheme.
+type Scheme struct {
+	Type SADPType
+}
+
+// Turn classifies the L-shaped turn with corner orientation c at grid
+// point p.
+func (s Scheme) Turn(p geom.Pt, c Corner) TurnClass {
+	pref := preferredCorner[s.Type][ClassOf(p)]
+	switch c {
+	case pref:
+		return Preferred
+	case pref.Opposite():
+		return NonPreferred
+	}
+	return Forbidden
+}
+
+// TurnDirs classifies the junction at p between two wire arms
+// extending in directions d1 and d2. Non-corner junctions (straight
+// wires, via attachments) are always Preferred: they carry no turn
+// penalty.
+func (s Scheme) TurnDirs(p geom.Pt, d1, d2 geom.Dir) TurnClass {
+	c, ok := CornerOf(d1, d2)
+	if !ok {
+		return Preferred
+	}
+	return s.Turn(p, c)
+}
+
+// OneUnitExtensionOK reports whether a forbidden turn at p with corner
+// orientation c is nevertheless decomposable when the arm extending in
+// direction stub is exactly one grid unit long (Fig 6(a)). The
+// exception applies when the one-unit stub runs in the non-preferred
+// routing direction of its layer: vertical stubs for SIM, horizontal
+// stubs for SID; the cut/trim mask can still resolve the short
+// extension against the mandrel in that orientation. For preferred and
+// non-preferred turns the method returns true trivially.
+func (s Scheme) OneUnitExtensionOK(p geom.Pt, c Corner, stub geom.Dir) bool {
+	if s.Turn(p, c) != Forbidden {
+		return true
+	}
+	vert, horiz := c.Arms()
+	if stub != vert && stub != horiz {
+		return false
+	}
+	if s.Type == SIM {
+		return stub.Vertical()
+	}
+	return stub.Horizontal()
+}
+
+// PanelColor reports whether the SIM panel with the given index along
+// one axis is grey (mandrel-bearing). Panels are colored alternately;
+// panel i is the area between grid lines i and i+1.
+func PanelColor(index int) bool { return index&1 == 1 }
+
+// TrackColorBlack reports whether the SID track with the given index
+// is black (mandrel-bearing). Tracks are colored alternately starting
+// with black at index 0.
+func TrackColorBlack(index int) bool { return index&1 == 0 }
+
+// MandrelTrack reports whether a wire running along the track with the
+// given cross-axis index lies on (SID) or beside (SIM) a mandrel.
+// Wires on mandrel tracks decompose onto the core mask; the others are
+// defined by spacers. The distinction feeds the mask synthesis in
+// internal/decompose.
+func (s Scheme) MandrelTrack(index int) bool {
+	if s.Type == SID {
+		return TrackColorBlack(index)
+	}
+	// SIM: the spacer forms the metal; metal on track i is a mandrel
+	// flank when the panel below it (index i-1) is grey.
+	return PanelColor(index - 1)
+}

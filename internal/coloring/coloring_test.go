@@ -1,0 +1,283 @@
+package coloring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func allSchemes() []Scheme {
+	return []Scheme{{Type: SIM}, {Type: SID}}
+}
+
+func TestCornerOf(t *testing.T) {
+	cases := []struct {
+		d1, d2 geom.Dir
+		want   Corner
+		ok     bool
+	}{
+		{geom.East, geom.North, NE, true},
+		{geom.North, geom.East, NE, true},
+		{geom.West, geom.North, NW, true},
+		{geom.East, geom.South, SE, true},
+		{geom.South, geom.West, SW, true},
+		{geom.East, geom.West, 0, false},
+		{geom.North, geom.South, 0, false},
+		{geom.East, geom.East, 0, false},
+		{geom.East, geom.Up, 0, false},
+		{geom.None, geom.North, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := CornerOf(c.d1, c.d2)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("CornerOf(%v,%v) = %v,%v want %v,%v", c.d1, c.d2, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCornerOpposite(t *testing.T) {
+	for c := Corner(0); c < NumCorners; c++ {
+		if c.Opposite().Opposite() != c {
+			t.Errorf("Opposite not involution for %v", c)
+		}
+		if c.Opposite() == c {
+			t.Errorf("Opposite(%v) == itself", c)
+		}
+	}
+}
+
+func TestCornerArmsConsistent(t *testing.T) {
+	for c := Corner(0); c < NumCorners; c++ {
+		v, h := c.Arms()
+		if !v.Vertical() || !h.Horizontal() {
+			t.Fatalf("Arms(%v) = %v,%v", c, v, h)
+		}
+		got, ok := CornerOf(v, h)
+		if !ok || got != c {
+			t.Errorf("CornerOf(Arms(%v)) = %v,%v", c, got, ok)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		p    geom.Pt
+		want PointClass
+	}{
+		{geom.XY(0, 0), 0}, {geom.XY(1, 0), 1},
+		{geom.XY(0, 1), 2}, {geom.XY(1, 1), 3},
+		{geom.XY(2, 2), 0}, {geom.XY(3, 5), 3},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.p); got != c.want {
+			t.Errorf("ClassOf(%v) = %d want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// Every grid point must have exactly one preferred, one non-preferred,
+// and two forbidden corner orientations — the structure of Fig 4.
+func TestTurnClassDistribution(t *testing.T) {
+	for _, s := range allSchemes() {
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				p := geom.XY(x, y)
+				count := map[TurnClass]int{}
+				for c := Corner(0); c < NumCorners; c++ {
+					count[s.Turn(p, c)]++
+				}
+				if count[Preferred] != 1 || count[NonPreferred] != 1 || count[Forbidden] != 2 {
+					t.Errorf("%v at %v: distribution %v", s.Type, p, count)
+				}
+			}
+		}
+	}
+}
+
+// The non-preferred corner is always diagonally opposite the preferred
+// one.
+func TestNonPreferredOppositePreferred(t *testing.T) {
+	for _, s := range allSchemes() {
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 2; y++ {
+				p := geom.XY(x, y)
+				var pref, nonpref Corner
+				for c := Corner(0); c < NumCorners; c++ {
+					switch s.Turn(p, c) {
+					case Preferred:
+						pref = c
+					case NonPreferred:
+						nonpref = c
+					}
+				}
+				if pref.Opposite() != nonpref {
+					t.Errorf("%v at %v: preferred %v, non-preferred %v", s.Type, p, pref, nonpref)
+				}
+			}
+		}
+	}
+}
+
+// Stepping one track in x swaps the east/west arm of the preferred
+// corner; one track in y swaps north/south. This is the alternating
+// mandrel-side structure the pre-colored grid encodes.
+func TestTurnParityShift(t *testing.T) {
+	flipEW := map[Corner]Corner{NE: NW, NW: NE, SE: SW, SW: SE}
+	flipNS := map[Corner]Corner{NE: SE, SE: NE, NW: SW, SW: NW}
+	for _, s := range allSchemes() {
+		for x := 0; x < 3; x++ {
+			for y := 0; y < 3; y++ {
+				p := geom.XY(x, y)
+				for c := Corner(0); c < NumCorners; c++ {
+					if s.Turn(p, c) == Preferred {
+						if s.Turn(p.Add(1, 0), flipEW[c]) != Preferred {
+							t.Errorf("%v: x-shift does not flip E/W at %v corner %v", s.Type, p, c)
+						}
+						if s.Turn(p.Add(0, 1), flipNS[c]) != Preferred {
+							t.Errorf("%v: y-shift does not flip N/S at %v corner %v", s.Type, p, c)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// SIM and SID must disagree: Fig 4 shows different turn behavior for
+// the two processes at corresponding positions.
+func TestSIMAndSIDDiffer(t *testing.T) {
+	sim, sid := Scheme{Type: SIM}, Scheme{Type: SID}
+	differ := false
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for c := Corner(0); c < NumCorners; c++ {
+				if sim.Turn(geom.XY(x, y), c) != sid.Turn(geom.XY(x, y), c) {
+					differ = true
+				}
+			}
+		}
+	}
+	if !differ {
+		t.Error("SIM and SID turn tables are identical")
+	}
+}
+
+func TestTurnDirsNonCorner(t *testing.T) {
+	s := Scheme{Type: SIM}
+	p := geom.XY(1, 1)
+	// Straight wires and via attachments carry no turn penalty.
+	for _, pair := range [][2]geom.Dir{
+		{geom.East, geom.West}, {geom.North, geom.South},
+		{geom.East, geom.Up}, {geom.Up, geom.Down}, {geom.North, geom.None},
+	} {
+		if got := s.TurnDirs(p, pair[0], pair[1]); got != Preferred {
+			t.Errorf("TurnDirs(%v,%v) = %v, want preferred (non-corner)", pair[0], pair[1], got)
+		}
+	}
+}
+
+func TestTurnDirsMatchesTurn(t *testing.T) {
+	f := func(x, y int8, ci uint8) bool {
+		c := Corner(ci % uint8(NumCorners))
+		p := geom.XY(int(x), int(y))
+		v, h := c.Arms()
+		for _, s := range allSchemes() {
+			if s.TurnDirs(p, v, h) != s.Turn(p, c) {
+				return false
+			}
+			if s.TurnDirs(p, h, v) != s.Turn(p, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fig 6(a): in SIM, a forbidden turn formed by a one-unit vertical
+// extension is decomposable, while a one-unit horizontal extension is
+// not. SID is the mirror image.
+func TestOneUnitExtensionException(t *testing.T) {
+	for _, s := range allSchemes() {
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 2; y++ {
+				p := geom.XY(x, y)
+				for c := Corner(0); c < NumCorners; c++ {
+					if s.Turn(p, c) != Forbidden {
+						// Exception is trivially true for legal turns.
+						v, _ := c.Arms()
+						if !s.OneUnitExtensionOK(p, c, v) {
+							t.Errorf("%v: legal turn %v at %v rejected", s.Type, c, p)
+						}
+						continue
+					}
+					v, h := c.Arms()
+					vertOK := s.OneUnitExtensionOK(p, c, v)
+					horizOK := s.OneUnitExtensionOK(p, c, h)
+					if s.Type == SIM && (!vertOK || horizOK) {
+						t.Errorf("SIM at %v corner %v: vertOK=%v horizOK=%v", p, c, vertOK, horizOK)
+					}
+					if s.Type == SID && (vertOK || !horizOK) {
+						t.Errorf("SID at %v corner %v: vertOK=%v horizOK=%v", p, c, vertOK, horizOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOneUnitExtensionNonArmStub(t *testing.T) {
+	s := Scheme{Type: SIM}
+	p := geom.XY(0, 0)
+	for c := Corner(0); c < NumCorners; c++ {
+		if s.Turn(p, c) == Forbidden {
+			v, h := c.Arms()
+			// A stub direction that is not an arm of the corner can
+			// never trigger the exception.
+			for _, d := range geom.PlanarDirs {
+				if d != v && d != h && s.OneUnitExtensionOK(p, c, d) {
+					t.Errorf("non-arm stub %v accepted for corner %v", d, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPanelAndTrackColorsAlternate(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		if PanelColor(i) == PanelColor(i+1) {
+			t.Fatalf("panels %d and %d have same color", i, i+1)
+		}
+		if TrackColorBlack(i) == TrackColorBlack(i+1) {
+			t.Fatalf("tracks %d and %d have same color", i, i+1)
+		}
+	}
+}
+
+func TestMandrelTrackAlternates(t *testing.T) {
+	for _, s := range allSchemes() {
+		for i := 0; i < 10; i++ {
+			if s.MandrelTrack(i) == s.MandrelTrack(i+1) {
+				t.Errorf("%v: mandrel tracks %d and %d identical", s.Type, i, i+1)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SIM.String() != "SIM" || SID.String() != "SID" {
+		t.Error("SADPType strings wrong")
+	}
+	if Preferred.String() != "preferred" || Forbidden.String() != "forbidden" {
+		t.Error("TurnClass strings wrong")
+	}
+	if NE.String() != "NE" || SW.String() != "SW" {
+		t.Error("Corner strings wrong")
+	}
+	if SADPType(9).String() == "" || TurnClass(9).String() == "" || Corner(9).String() == "" {
+		t.Error("out-of-range stringers empty")
+	}
+}

@@ -1,0 +1,376 @@
+// Package decompose synthesizes SADP masks from a routed layout and
+// checks mask design rules — the end-to-end validator for the claim
+// that color-pre-assigned routing solutions stay SADP decomposable
+// (paper §II-B, Figs 1 and 4).
+//
+// The model follows the pre-assignment contract:
+//
+//   - SID (spacer-is-dielectric, trim approach): mandrels run along
+//     black tracks; wires on black tracks print from the core mask,
+//     wires on grey tracks print between spacers; the trim mask keeps
+//     exactly the wanted metal.
+//   - SIM (spacer-is-metal, cut approach): mandrels center in grey
+//     panels; every wire is a spacer flank of a mandrel; the cut mask
+//     removes unwanted spacer loops, in particular at line ends.
+//
+// DRC implemented on the synthesized masks:
+//
+//   - Hard: a forbidden L-turn (undecomposable corner, the rule the
+//     router enforces) — re-derived here independently from the masks'
+//     viewpoint via the coloring tables.
+//   - Hard: two distinct mandrel segments on the same track closer
+//     than the minimum end-to-end gap of 2 grid units (a 1-unit gap
+//     cannot be patterned on the core mask).
+//   - Warning: two cut/trim line-end shapes within 1 grid unit of each
+//     other on different tracks (tight cut masks print with TPL in
+//     practice; the paper does not constrain them in routing, so these
+//     are reported but not fatal).
+package decompose
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Severity grades a violation.
+type Severity uint8
+
+const (
+	// Hard violations make the layout undecomposable.
+	Hard Severity = iota
+	// Warning violations are printable but cost cut-mask complexity.
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Hard {
+		return "hard"
+	}
+	return "warning"
+}
+
+// Violation is one mask DRC finding.
+type Violation struct {
+	Severity Severity
+	Layer    int
+	At       geom.Pt
+	Rule     string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: layer %d at %v: %s", v.Severity, v.Layer, v.At, v.Rule)
+}
+
+// Segment is a maximal straight run of mask material along a track.
+type Segment struct {
+	// Track is the cross-axis index (y for horizontal layers, x for
+	// vertical ones).
+	Track int
+	// Lo, Hi are the inclusive along-axis extents.
+	Lo, Hi int
+}
+
+// Masks is the decomposition of one routing layer.
+type Masks struct {
+	Layer int
+	// Horizontal reports the layer's preferred direction.
+	Horizontal bool
+	// Mandrel holds core-mask segments.
+	Mandrel []Segment
+	// SpacerWires holds wire segments printed by spacers (not on the
+	// core mask).
+	SpacerWires []Segment
+	// CutShapes holds cut/trim mask features at line ends.
+	CutShapes []geom.Pt
+}
+
+// Result is the full-layout decomposition.
+type Result struct {
+	Scheme     coloring.Scheme
+	Layers     []Masks
+	Violations []Violation
+}
+
+// HardViolations returns only the fatal findings.
+func (r *Result) HardViolations() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Severity == Hard {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Decompose synthesizes masks for every routing layer of a solution
+// and runs the mask DRC.
+func Decompose(g *grid.Grid, routes []*grid.Route) *Result {
+	res := &Result{Scheme: g.Scheme}
+	arms := collectArms(g, routes)
+	for l := 0; l < g.NumLayers; l++ {
+		m := synthesizeLayer(g, l, arms[l])
+		res.Layers = append(res.Layers, m)
+		res.Violations = append(res.Violations, drcLayer(g, l, m, arms[l])...)
+	}
+	return res
+}
+
+// collectArms unions each layer's metal arm masks over all routes.
+func collectArms(g *grid.Grid, routes []*grid.Route) []map[geom.Pt]uint8 {
+	arms := make([]map[geom.Pt]uint8, g.NumLayers)
+	for l := range arms {
+		arms[l] = map[geom.Pt]uint8{}
+	}
+	for _, r := range routes {
+		if r == nil || r.Empty() {
+			continue
+		}
+		for _, p := range r.PointList() {
+			arms[p.Layer][p.Pt2()] |= r.ArmMask(p)
+		}
+	}
+	return arms
+}
+
+// trackRun decomposes a layer's along-direction wire segments. For a
+// horizontal layer the track is y and the run spans x.
+func wireSegments(g *grid.Grid, l int, arms map[geom.Pt]uint8) []Segment {
+	horizontal := g.PrefHorizontal(l)
+	covered := func(p geom.Pt, q geom.Pt) bool {
+		// Segment between p and q exists when either endpoint has the
+		// arm toward the other.
+		d := geom.Pt3{X: p.X, Y: p.Y}.DirTo(geom.Pt3{X: q.X, Y: q.Y})
+		return arms[p]&armBit(d) != 0
+	}
+	var segs []Segment
+	tracks, span := g.H, g.W
+	if !horizontal {
+		tracks, span = g.W, g.H
+	}
+	at := func(track, along int) geom.Pt {
+		if horizontal {
+			return geom.XY(along, track)
+		}
+		return geom.XY(track, along)
+	}
+	for t := 0; t < tracks; t++ {
+		lo := -1
+		for a := 0; a < span; a++ {
+			p := at(t, a)
+			onWire := arms[p] != 0 || pointHasMetal(g, l, p)
+			if onWire && lo == -1 {
+				lo = a
+			}
+			endHere := false
+			if onWire {
+				if a == span-1 {
+					endHere = true
+				} else if !covered(p, at(t, a+1)) {
+					endHere = true
+				}
+			}
+			if endHere && lo != -1 {
+				segs = append(segs, Segment{Track: t, Lo: lo, Hi: a})
+				lo = -1
+			}
+			if !onWire {
+				lo = -1
+			}
+		}
+	}
+	return segs
+}
+
+func pointHasMetal(g *grid.Grid, l int, p geom.Pt) bool {
+	return g.Metal[l].Occupied(p)
+}
+
+func armBit(d geom.Dir) uint8 {
+	switch d {
+	case geom.East:
+		return 1
+	case geom.West:
+		return 2
+	case geom.North:
+		return 4
+	case geom.South:
+		return 8
+	}
+	return 0
+}
+
+// synthesizeLayer splits wire segments into mandrel-printed and
+// spacer-printed, and derives cut/trim shapes at spacer line ends.
+// Collinear mandrel segments closer than the minimum core-mask
+// end-to-end gap (2 units) are merged into one mandrel and separated
+// with a cut/trim shape in the gap — the standard line-end treatment
+// of the cut approach.
+func synthesizeLayer(g *grid.Grid, l int, arms map[geom.Pt]uint8) Masks {
+	m := Masks{Layer: l, Horizontal: g.PrefHorizontal(l)}
+	scheme := g.Scheme
+	var mandrels []Segment
+	for _, s := range wireSegments(g, l, arms) {
+		if scheme.MandrelTrack(s.Track) {
+			mandrels = append(mandrels, s)
+		} else {
+			m.SpacerWires = append(m.SpacerWires, s)
+			// Cut/trim shapes sit in the empty cell beyond each line
+			// end of a spacer wire: the cut removes the spacer loop
+			// there. Coincident shapes (two line ends sharing a 1-unit
+			// gap) merge into one cut.
+			for _, e := range [2]geom.Pt{cutCell(m.Horizontal, s, true), cutCell(m.Horizontal, s, false)} {
+				if g.InPlane(e) && !containsPt(m.CutShapes, e) {
+					m.CutShapes = append(m.CutShapes, e)
+				}
+			}
+		}
+	}
+	m.Mandrel = mergeCloseMandrels(&m, mandrels, g)
+	return m
+}
+
+// mergeCloseMandrels merges same-track mandrel segments whose
+// end-to-end gap is below 2, adding a cut shape per gap cell. Segments
+// arrive grouped by track in ascending along-axis order from
+// wireSegments.
+func mergeCloseMandrels(m *Masks, segs []Segment, g *grid.Grid) []Segment {
+	var out []Segment
+	for _, s := range segs {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Track == s.Track {
+				if gap := segGap(*last, s); gap >= 0 && gap < 2 {
+					for a := last.Hi + 1; a < s.Lo; a++ {
+						var cutAt geom.Pt
+						if m.Horizontal {
+							cutAt = geom.XY(a, s.Track)
+						} else {
+							cutAt = geom.XY(s.Track, a)
+						}
+						if g.InPlane(cutAt) && !containsPt(m.CutShapes, cutAt) {
+							m.CutShapes = append(m.CutShapes, cutAt)
+						}
+					}
+					last.Hi = s.Hi
+					continue
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func containsPt(pts []geom.Pt, p geom.Pt) bool {
+	for _, q := range pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// cutCell is the cell just beyond a segment's line end.
+func cutCell(horizontal bool, s Segment, lo bool) geom.Pt {
+	a := s.Lo - 1
+	if !lo {
+		a = s.Hi + 1
+	}
+	if horizontal {
+		return geom.XY(a, s.Track)
+	}
+	return geom.XY(s.Track, a)
+}
+
+func segEnd(horizontal bool, s Segment, lo bool) geom.Pt {
+	a := s.Lo
+	if !lo {
+		a = s.Hi
+	}
+	if horizontal {
+		return geom.XY(a, s.Track)
+	}
+	return geom.XY(s.Track, a)
+}
+
+// drcLayer checks the synthesized masks of one layer.
+func drcLayer(g *grid.Grid, l int, m Masks, arms map[geom.Pt]uint8) []Violation {
+	var out []Violation
+	// Rule 1 (hard): forbidden corners. Exactly-two perpendicular arms
+	// form an L; the coloring tables decide decomposability.
+	for p, mask := range arms {
+		if bits.OnesCount8(mask) != 2 {
+			continue
+		}
+		d1, d2 := twoArms(mask)
+		corner, ok := coloring.CornerOf(d1, d2)
+		if !ok {
+			continue
+		}
+		if g.Scheme.Turn(p, corner) == coloring.Forbidden {
+			out = append(out, Violation{
+				Severity: Hard, Layer: l, At: p,
+				Rule: fmt.Sprintf("forbidden %v corner is undecomposable", corner),
+			})
+		}
+	}
+	// Rule 2 (hard): mandrel end-to-end gap ≥ 2 on the same track.
+	byTrack := map[int][]Segment{}
+	for _, s := range m.Mandrel {
+		byTrack[s.Track] = append(byTrack[s.Track], s)
+	}
+	for _, segs := range byTrack {
+		for i := 0; i < len(segs); i++ {
+			for j := i + 1; j < len(segs); j++ {
+				gap := segGap(segs[i], segs[j])
+				if gap >= 0 && gap < 2 {
+					out = append(out, Violation{
+						Severity: Hard, Layer: l, At: segEnd(m.Horizontal, segs[i], false),
+						Rule: fmt.Sprintf("mandrel end-to-end gap %d < 2", gap),
+					})
+				}
+			}
+		}
+	}
+	// Rule 3 (warning): crowded cut shapes. Distinct cuts within 2
+	// units are printable (via TPL of the cut mask) but tight.
+	for i := 0; i < len(m.CutShapes); i++ {
+		for j := i + 1; j < len(m.CutShapes); j++ {
+			a, b := m.CutShapes[i], m.CutShapes[j]
+			if a.ChebyshevDist(b) <= 2 {
+				out = append(out, Violation{
+					Severity: Warning, Layer: l, At: a,
+					Rule: fmt.Sprintf("cut shapes at %v and %v within 2 units", a, b),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func twoArms(mask uint8) (geom.Dir, geom.Dir) {
+	var dirs []geom.Dir
+	for _, d := range geom.PlanarDirs {
+		if mask&armBit(d) != 0 {
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs[0], dirs[1]
+}
+
+// segGap returns the empty distance between two non-overlapping
+// segments on the same track, or -1 when they overlap or touch
+// end-to-end ordering is violated.
+func segGap(a, b Segment) int {
+	if a.Lo > b.Lo {
+		a, b = b, a
+	}
+	if b.Lo <= a.Hi {
+		return -1 // overlapping or abutting runs merged upstream
+	}
+	return b.Lo - a.Hi - 1
+}

@@ -1,0 +1,230 @@
+package decompose
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func straightRoute(net int32, y, x0, x1 int) *grid.Route {
+	r := grid.NewRoute(net)
+	var path []geom.Pt3
+	for x := x0; x <= x1; x++ {
+		path = append(path, geom.XYL(x, y, 0))
+	}
+	r.AddPath(path)
+	return r
+}
+
+func TestStraightWiresDecompose(t *testing.T) {
+	for _, typ := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+		g := grid.New(16, 16, 2, coloring.Scheme{Type: typ})
+		var routes []*grid.Route
+		for y := 2; y <= 5; y++ { // adjacent tracks alternate mandrel/spacer
+			r := straightRoute(int32(y), y, 2, 10)
+			g.AddRoute(r)
+			routes = append(routes, r)
+		}
+		res := Decompose(g, routes)
+		if hv := res.HardViolations(); len(hv) != 0 {
+			t.Errorf("%v: straight wires produced hard violations: %v", typ, hv)
+		}
+		// Some wires must land on the core mask, some on spacers:
+		// the pre-assignment alternates by track.
+		m0 := res.Layers[0]
+		if len(m0.Mandrel) == 0 || len(m0.SpacerWires) == 0 {
+			t.Errorf("%v: expected a mix of mandrel and spacer wires, got %d/%d",
+				typ, len(m0.Mandrel), len(m0.SpacerWires))
+		}
+		// Spacer wires carry cut shapes at both ends.
+		if len(m0.CutShapes) != 2*len(m0.SpacerWires) {
+			t.Errorf("%v: cut shape count %d != 2x spacer wires %d",
+				typ, len(m0.CutShapes), len(m0.SpacerWires))
+		}
+	}
+}
+
+func TestPreferredTurnDecomposes(t *testing.T) {
+	scheme := coloring.Scheme{Type: coloring.SIM}
+	// Find a preferred corner location and build that exact L.
+	var at geom.Pt
+	var corner coloring.Corner
+	found := false
+	for x := 2; x < 4 && !found; x++ {
+		for y := 2; y < 4 && !found; y++ {
+			for c := coloring.Corner(0); c < coloring.NumCorners; c++ {
+				if scheme.Turn(geom.XY(x, y), c) == coloring.Preferred {
+					at, corner, found = geom.XY(x, y), c, true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no preferred corner in probe area")
+	}
+	v, h := corner.Arms()
+	g := grid.New(16, 16, 2, scheme)
+	r := grid.NewRoute(0)
+	p := geom.XYL(at.X, at.Y, 0)
+	r.AddPath([]geom.Pt3{p.Step(h).Step(h), p.Step(h), p, p.Step(v), p.Step(v).Step(v)})
+	g.AddRoute(r)
+	res := Decompose(g, []*grid.Route{r})
+	if hv := res.HardViolations(); len(hv) != 0 {
+		t.Errorf("preferred turn flagged: %v", hv)
+	}
+}
+
+func TestForbiddenTurnDetected(t *testing.T) {
+	scheme := coloring.Scheme{Type: coloring.SIM}
+	var at geom.Pt
+	var corner coloring.Corner
+	found := false
+	for c := coloring.Corner(0); c < coloring.NumCorners && !found; c++ {
+		if scheme.Turn(geom.XY(3, 3), c) == coloring.Forbidden {
+			at, corner, found = geom.XY(3, 3), c, true
+		}
+	}
+	if !found {
+		t.Fatal("no forbidden corner at probe point")
+	}
+	v, h := corner.Arms()
+	g := grid.New(16, 16, 2, scheme)
+	r := grid.NewRoute(0)
+	p := geom.XYL(at.X, at.Y, 0)
+	r.AddPath([]geom.Pt3{p.Step(h).Step(h), p.Step(h), p, p.Step(v), p.Step(v).Step(v)})
+	g.AddRoute(r)
+	res := Decompose(g, []*grid.Route{r})
+	hv := res.HardViolations()
+	if len(hv) == 0 {
+		t.Fatal("forbidden turn not detected by mask DRC")
+	}
+	if hv[0].At != at {
+		t.Errorf("violation at %v, want %v", hv[0].At, at)
+	}
+}
+
+func TestMandrelGapRule(t *testing.T) {
+	scheme := coloring.Scheme{Type: coloring.SID}
+	g := grid.New(20, 20, 2, scheme)
+	// Find a mandrel track.
+	track := -1
+	for y := 2; y < 6; y++ {
+		if scheme.MandrelTrack(y) {
+			track = y
+			break
+		}
+	}
+	if track < 0 {
+		t.Fatal("no mandrel track found")
+	}
+	// Two collinear wires with a 1-unit gap on the mandrel track: the
+	// mandrels merge into one core-mask shape and the gap is cut.
+	a := straightRoute(0, track, 2, 6)
+	b := straightRoute(1, track, 8, 12)
+	g.AddRoute(a)
+	g.AddRoute(b)
+	res := Decompose(g, []*grid.Route{a, b})
+	if hv := res.HardViolations(); len(hv) != 0 {
+		t.Errorf("1-unit mandrel gap must merge, got hard violations: %v", hv)
+	}
+	m0 := res.Layers[0]
+	if len(m0.Mandrel) != 1 {
+		t.Errorf("expected merged mandrel, got %d segments", len(m0.Mandrel))
+	}
+	if len(m0.CutShapes) != 1 || m0.CutShapes[0] != geom.XY(7, track) {
+		t.Errorf("expected one cut at gap cell (7,%d), got %v", track, m0.CutShapes)
+	}
+	// A 2-unit gap keeps two separate mandrels and needs no cut.
+	g2 := grid.New(20, 20, 2, scheme)
+	a2 := straightRoute(0, track, 2, 6)
+	b2 := straightRoute(1, track, 9, 12)
+	g2.AddRoute(a2)
+	g2.AddRoute(b2)
+	res2 := Decompose(g2, []*grid.Route{a2, b2})
+	if hv := res2.HardViolations(); len(hv) != 0 {
+		t.Errorf("2-unit mandrel gap flagged: %v", hv)
+	}
+	if len(res2.Layers[0].Mandrel) != 2 {
+		t.Errorf("2-unit gap wrongly merged: %d segments", len(res2.Layers[0].Mandrel))
+	}
+}
+
+func TestCutCrowdingWarning(t *testing.T) {
+	scheme := coloring.Scheme{Type: coloring.SIM}
+	spacer := -1
+	for y := 2; y < 8; y++ {
+		if !scheme.MandrelTrack(y) {
+			spacer = y
+			break
+		}
+	}
+	if spacer < 0 {
+		t.Fatal("no spacer track")
+	}
+	// Two collinear spacer wires with a 2-unit gap: distinct cut
+	// shapes at adjacent cells → tight-cut warning.
+	g := grid.New(20, 20, 2, scheme)
+	a := straightRoute(0, spacer, 2, 6)
+	b := straightRoute(1, spacer, 9, 13)
+	g.AddRoute(a)
+	g.AddRoute(b)
+	res := Decompose(g, []*grid.Route{a, b})
+	warns := 0
+	for _, v := range res.Violations {
+		if v.Severity == Warning {
+			warns++
+		}
+	}
+	if warns == 0 {
+		t.Error("cut shapes 1 unit apart not warned")
+	}
+	// A 1-unit gap merges the two line-end cuts into one shape: no
+	// warning from that pair, and still no hard violation (spacer
+	// track, not mandrel).
+	g2 := grid.New(20, 20, 2, scheme)
+	c1 := straightRoute(0, spacer, 2, 6)
+	c2 := straightRoute(1, spacer, 8, 12)
+	g2.AddRoute(c1)
+	g2.AddRoute(c2)
+	res2 := Decompose(g2, []*grid.Route{c1, c2})
+	if len(res2.Layers[0].CutShapes) != 3 {
+		t.Errorf("expected merged cut (3 shapes), got %d", len(res2.Layers[0].CutShapes))
+	}
+	if hv := res2.HardViolations(); len(hv) != 0 {
+		t.Errorf("spacer-track 1-gap flagged hard: %v", hv)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Hard.String() != "hard" || Warning.String() != "warning" {
+		t.Error("severity strings wrong")
+	}
+	v := Violation{Severity: Hard, Layer: 1, At: geom.XY(2, 3), Rule: "x"}
+	if v.String() == "" {
+		t.Error("violation string empty")
+	}
+}
+
+func TestSegGap(t *testing.T) {
+	a := Segment{Track: 0, Lo: 2, Hi: 6}
+	cases := []struct {
+		b    Segment
+		want int
+	}{
+		{Segment{Track: 0, Lo: 8, Hi: 12}, 1},
+		{Segment{Track: 0, Lo: 9, Hi: 12}, 2},
+		{Segment{Track: 0, Lo: 7, Hi: 12}, 0},
+		{Segment{Track: 0, Lo: 4, Hi: 12}, -1},
+	}
+	for _, c := range cases {
+		if got := segGap(a, c.b); got != c.want {
+			t.Errorf("segGap(%v,%v) = %d want %d", a, c.b, got, c.want)
+		}
+		if got := segGap(c.b, a); got != c.want {
+			t.Errorf("segGap symmetric (%v,%v) = %d want %d", c.b, a, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package dvi
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tpl"
+)
+
+// buildState constructs the heuristic state for an instance without
+// running the insertion loop.
+func buildState(in *Instance) *heurState {
+	s := &Solution{
+		Inserted:  make([]int, len(in.Vias)),
+		Colors:    make([]int8, len(in.Vias)),
+		RedColors: make([]int8, len(in.Vias)),
+	}
+	for i := range s.Inserted {
+		s.Inserted[i] = -1
+	}
+	in.precolor(s)
+	h := &heurState{in: in, sol: s, p: DefaultHeurParams()}
+	h.build()
+	return h
+}
+
+// A single isolated via: DP of each candidate is δ·#feasible with no
+// conflicts and no kills.
+func TestDPIsolatedVia(t *testing.T) {
+	g := grid.New(24, 24, 2, coloring.Scheme{Type: coloring.SIM})
+	r := viaRoute(0, 4, 8, 3, 3)
+	g.AddRoute(r)
+	in := NewInstance(g, []*grid.Route{r})
+	if len(in.Vias) != 1 {
+		t.Fatal("expected one via")
+	}
+	h := buildState(in)
+	feas := len(in.Feas[0])
+	for j := range in.Feas[0] {
+		got := h.computeDP(cand{0, j})
+		want := h.p.Delta * feas
+		if got != want {
+			t.Errorf("candidate %d: DP = %d, want %d (δ·feas only)", j, got, want)
+		}
+	}
+}
+
+// Two vias sharing a candidate site: that shared candidate carries a
+// λ conflict on both sides.
+func TestDPConflictTerm(t *testing.T) {
+	g := grid.New(24, 24, 2, coloring.Scheme{Type: coloring.SIM})
+	// Vias at (6,8) and (8,8): the site (7,8) is a DVIC of both.
+	r1 := viaRoute(0, 3, 8, 3, 2) // via at (6,8)
+	r2 := viaRoute(1, 8, 8, 0, 2) // via at (8,8)
+	g.AddRoute(r1)
+	g.AddRoute(r2)
+	in := NewInstance(g, []*grid.Route{r1, r2})
+	if len(in.Vias) != 2 {
+		t.Fatalf("expected 2 vias, got %d", len(in.Vias))
+	}
+	shared := geom.XY(7, 8)
+	h := buildState(in)
+	for i := range in.Vias {
+		for j, c := range in.Feas[i] {
+			if c != shared {
+				continue
+			}
+			dp := h.computeDP(cand{i, j})
+			base := h.p.Delta * h.liveFeasCount(i)
+			if dp < base+h.p.Lambda {
+				t.Errorf("shared candidate of via %d: DP %d lacks conflict term (base %d)", i, dp, base)
+			}
+		}
+	}
+}
+
+// Inserting at a candidate reduces the live feasible count of
+// conflicting vias and invalidates the shared site.
+func TestInsertionInvalidatesConflicts(t *testing.T) {
+	g := grid.New(24, 24, 2, coloring.Scheme{Type: coloring.SIM})
+	r1 := viaRoute(0, 3, 8, 3, 2)
+	r2 := viaRoute(1, 8, 8, 0, 2)
+	g.AddRoute(r1)
+	g.AddRoute(r2)
+	in := NewInstance(g, []*grid.Route{r1, r2})
+	h := buildState(in)
+	shared := geom.XY(7, 8)
+	var c0 *cand
+	for j, c := range in.Feas[0] {
+		if c == shared {
+			cc := cand{0, j}
+			c0 = &cc
+		}
+	}
+	if c0 == nil {
+		t.Skip("shared site not feasible for via 0 under this scheme")
+	}
+	before := h.liveFeasCount(1)
+	// Insert via 0's redundant via at the shared site.
+	h.occ[0].Add(shared)
+	h.sol.Inserted[0] = c0.j
+	h.protected[0] = true
+	after := h.liveFeasCount(1)
+	if after >= before {
+		t.Errorf("conflicting insertion did not reduce via 1 feasibility: %d -> %d", before, after)
+	}
+	// The shared candidate of via 1 must now be invalid.
+	for j, c := range in.Feas[1] {
+		if c == shared && h.candValid(cand{1, j}) {
+			t.Error("occupied shared candidate still valid")
+		}
+	}
+}
+
+// The kill term: a candidate whose insertion would FVP-block another
+// via's candidate carries μ per killed candidate.
+func TestDPKillTerm(t *testing.T) {
+	g := grid.New(24, 24, 2, coloring.Scheme{Type: coloring.SIM})
+	var routes []*grid.Route
+	// Three vias packed so candidate insertions interact through 3×3
+	// windows: vias at (6,8), (8,8), (6,10).
+	for i, pos := range []struct{ x, y, el int }{{3, 8, 3}, {8, 8, 0}, {3, 10, 3}} {
+		r := viaRoute(int32(i), pos.x, pos.y, pos.el, 2)
+		g.AddRoute(r)
+		routes = append(routes, r)
+	}
+	in := NewInstance(g, []*grid.Route{routes[0], routes[1], routes[2]})
+	h := buildState(in)
+	// At least one candidate must carry a kill term; compare against a
+	// manual recount.
+	anyKill := false
+	for i := range in.Vias {
+		for j := range in.Feas[i] {
+			c := cand{i, j}
+			if !h.candValid(c) {
+				continue
+			}
+			kills := h.countKills(in.Vias[i].Layer(), in.Feas[i][j], i)
+			if kills > 0 {
+				anyKill = true
+			}
+			dp := h.computeDP(c)
+			base := h.p.Delta*h.liveFeasCount(i) + h.p.Mu*kills
+			if dp < base {
+				t.Errorf("via %d cand %d: DP %d below δ+μ floor %d", i, j, dp, base)
+			}
+		}
+	}
+	if !anyKill {
+		t.Log("no kill interactions in this packing (acceptable, geometry dependent)")
+	}
+}
+
+// Pre-coloring must yield a proper coloring when the via population is
+// sparse.
+func TestPrecolorProper(t *testing.T) {
+	g := grid.New(32, 32, 2, coloring.Scheme{Type: coloring.SIM})
+	var routes []*grid.Route
+	for i := 0; i < 5; i++ {
+		r := viaRoute(int32(i), 2, 3+5*i, 4, 2)
+		g.AddRoute(r)
+		routes = append(routes, r)
+	}
+	in := NewInstance(g, routes)
+	s := &Solution{
+		Inserted:  make([]int, len(in.Vias)),
+		Colors:    make([]int8, len(in.Vias)),
+		RedColors: make([]int8, len(in.Vias)),
+	}
+	in.precolor(s)
+	for i, v := range in.Vias {
+		if s.Colors[i] == tpl.Uncolored {
+			t.Errorf("sparse via %v uncolored", v.Pos())
+		}
+		for k, u := range in.Vias {
+			if i != k && v.Layer() == u.Layer() && tpl.Conflict(v.Pos(), u.Pos()) &&
+				s.Colors[i] == s.Colors[k] && s.Colors[i] != tpl.Uncolored {
+				t.Errorf("vias %v and %v share color %d within pitch", v.Pos(), u.Pos(), s.Colors[i])
+			}
+		}
+	}
+}

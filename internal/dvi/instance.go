@@ -1,0 +1,150 @@
+package dvi
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tpl"
+)
+
+// Instance is one post-routing TPL-aware DVI problem (§III-E): a
+// routing solution's single vias with their feasible DVI candidates.
+// The objective is to insert a redundant via for as many single vias
+// as possible without breaking via-layer TPL decomposability or metal
+// layer SADP decomposability.
+type Instance struct {
+	G      *grid.Grid
+	Routes []*grid.Route
+	// Vias lists every single via of the solution.
+	Vias []Via
+	// Feas[i] lists the feasible DVIC locations of Vias[i] (0 to 4).
+	Feas [][]geom.Pt
+}
+
+// NewInstance gathers the vias of a routing solution and computes DVIC
+// feasibility for each (§II-C).
+func NewInstance(g *grid.Grid, routes []*grid.Route) *Instance {
+	in := &Instance{G: g, Routes: routes}
+	f := Feasibility{G: g}
+	for _, r := range routes {
+		if r == nil || r.Empty() {
+			continue
+		}
+		for _, v := range ViasOf(r) {
+			in.Vias = append(in.Vias, v)
+			in.Feas = append(in.Feas, f.FeasibleDVICs(r, v))
+		}
+	}
+	return in
+}
+
+// Solution is a DVI result: which candidate each via uses (or -1) and
+// the TPL coloring of all vias.
+type Solution struct {
+	// Inserted[i] is the index into Feas[i] of the inserted redundant
+	// via, or -1 when via i stays single (a dead via).
+	Inserted []int
+	// Colors[i] is the TPL mask (0..2) of original via i, or
+	// tpl.Uncolored.
+	Colors []int8
+	// RedColors[i] is the TPL mask of via i's redundant via; valid when
+	// Inserted[i] >= 0.
+	RedColors []int8
+	// Stats
+	InsertedCount int
+	DeadVias      int
+	Uncolorable   int
+}
+
+// redundantAt returns the location of via i's redundant via, or false.
+func (s *Solution) redundantAt(in *Instance, i int) (geom.Pt, bool) {
+	j := s.Inserted[i]
+	if j < 0 {
+		return geom.Pt{}, false
+	}
+	return in.Feas[i][j], true
+}
+
+// Validate checks the solution against the problem's hard constraints:
+// each via at most one redundant via at a feasible candidate, no two
+// inserted vias on the same site of the same layer, a proper pairwise
+// TPL coloring (no same-color pair within the same-color via pitch),
+// and stats consistent with the assignment. Uncolorable original vias
+// are permitted only if counted.
+func (s *Solution) Validate(in *Instance) error {
+	if len(s.Inserted) != len(in.Vias) || len(s.Colors) != len(in.Vias) || len(s.RedColors) != len(in.Vias) {
+		return fmt.Errorf("dvi: solution arrays sized %d/%d/%d for %d vias",
+			len(s.Inserted), len(s.Colors), len(s.RedColors), len(in.Vias))
+	}
+	type site struct {
+		vl int
+		p  geom.Pt
+	}
+	type colored struct {
+		site
+		color int8
+	}
+	var all []colored
+	occupied := map[site]bool{}
+	for _, v := range in.Vias {
+		occupied[site{v.Layer(), v.Pos()}] = true
+	}
+	inserted, dead, unc := 0, 0, 0
+	for i := range in.Vias {
+		v := in.Vias[i]
+		j := s.Inserted[i]
+		if j >= len(in.Feas[i]) {
+			return fmt.Errorf("dvi: via %d inserted at out-of-range candidate %d", i, j)
+		}
+		if s.Colors[i] == tpl.Uncolored {
+			unc++
+		} else if s.Colors[i] < 0 || s.Colors[i] >= tpl.NumColors {
+			return fmt.Errorf("dvi: via %d has invalid color %d", i, s.Colors[i])
+		}
+		all = append(all, colored{site{v.Layer(), v.Pos()}, s.Colors[i]})
+		if j < 0 {
+			dead++
+			continue
+		}
+		inserted++
+		rp := in.Feas[i][j]
+		st := site{v.Layer(), rp}
+		if occupied[st] {
+			return fmt.Errorf("dvi: redundant via of via %d at %v collides", i, rp)
+		}
+		occupied[st] = true
+		rc := s.RedColors[i]
+		if rc < 0 || rc >= tpl.NumColors {
+			return fmt.Errorf("dvi: redundant via of via %d has invalid color %d", i, rc)
+		}
+		all = append(all, colored{st, rc})
+	}
+	// Pairwise coloring legality within each via layer.
+	byLayer := map[int][]colored{}
+	for _, c := range all {
+		byLayer[c.vl] = append(byLayer[c.vl], c)
+	}
+	for vl, cs := range byLayer {
+		pos := map[geom.Pt]int8{}
+		for _, c := range cs {
+			pos[c.p] = c.color
+		}
+		for _, c := range cs {
+			if c.color == tpl.Uncolored {
+				continue
+			}
+			for _, off := range tpl.ConflictOffsets {
+				q := c.p.Add(off.X, off.Y)
+				if oc, ok := pos[q]; ok && oc == c.color {
+					return fmt.Errorf("dvi: same-color vias within pitch at %v and %v (layer %d)", c.p, q, vl)
+				}
+			}
+		}
+	}
+	if s.InsertedCount != inserted || s.DeadVias != dead || s.Uncolorable != unc {
+		return fmt.Errorf("dvi: stats mismatch: reported %d/%d/%d, actual %d/%d/%d",
+			s.InsertedCount, s.DeadVias, s.Uncolorable, inserted, dead, unc)
+	}
+	return nil
+}

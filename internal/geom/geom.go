@@ -1,0 +1,257 @@
+// Package geom provides the basic geometric vocabulary of the router:
+// grid points, rectangles, routing directions, and layers.
+//
+// The routing grid is a uniform Manhattan grid. Coordinates are integer
+// track indices; one grid unit equals one routing track pitch. All
+// distances used by the TPL conflict model and by wirelength accounting
+// are expressed in these units.
+package geom
+
+import "fmt"
+
+// Dir is one of the six routing directions in the 3-D routing grid.
+type Dir uint8
+
+// The six routing directions. None marks the absence of a direction
+// (for example the incoming direction of a search source).
+const (
+	None Dir = iota
+	East
+	West
+	North
+	South
+	Up   // via towards a higher metal layer
+	Down // via towards a lower metal layer
+)
+
+// NumDirs is the number of distinct Dir values including None.
+const NumDirs = 7
+
+var dirNames = [NumDirs]string{"none", "east", "west", "north", "south", "up", "down"}
+
+func (d Dir) String() string {
+	if int(d) < len(dirNames) {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("dir(%d)", uint8(d))
+}
+
+// Opposite returns the reverse of d. The opposite of None is None.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	case South:
+		return North
+	case Up:
+		return Down
+	case Down:
+		return Up
+	}
+	return None
+}
+
+// Horizontal reports whether d is East or West.
+func (d Dir) Horizontal() bool { return d == East || d == West }
+
+// Vertical reports whether d is North or South.
+func (d Dir) Vertical() bool { return d == North || d == South }
+
+// Planar reports whether d is one of the four in-plane directions.
+func (d Dir) Planar() bool { return d.Horizontal() || d.Vertical() }
+
+// Via reports whether d is Up or Down.
+func (d Dir) Via() bool { return d == Up || d == Down }
+
+// Delta returns the (dx, dy, dz) step of the direction.
+func (d Dir) Delta() (dx, dy, dz int) {
+	switch d {
+	case East:
+		return 1, 0, 0
+	case West:
+		return -1, 0, 0
+	case North:
+		return 0, 1, 0
+	case South:
+		return 0, -1, 0
+	case Up:
+		return 0, 0, 1
+	case Down:
+		return 0, 0, -1
+	}
+	return 0, 0, 0
+}
+
+// PlanarDirs lists the four in-plane directions in a fixed order.
+var PlanarDirs = [4]Dir{East, West, North, South}
+
+// Pt is a 2-D grid point on a single layer.
+type Pt struct {
+	X, Y int
+}
+
+// XY is a convenience constructor for Pt.
+func XY(x, y int) Pt { return Pt{X: x, Y: y} }
+
+func (p Pt) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns p translated by (dx, dy).
+func (p Pt) Add(dx, dy int) Pt { return Pt{p.X + dx, p.Y + dy} }
+
+// Step returns p moved one grid unit in direction d. Via directions
+// leave the point unchanged.
+func (p Pt) Step(d Dir) Pt {
+	dx, dy, _ := d.Delta()
+	return Pt{p.X + dx, p.Y + dy}
+}
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Pt) ManhattanDist(q Pt) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// SqDist returns the squared Euclidean distance between p and q in grid
+// units. The TPL same-color via pitch test is SqDist <= 5.
+func (p Pt) SqDist(q Pt) int {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// ChebyshevDist returns the L∞ distance between p and q.
+func (p Pt) ChebyshevDist(q Pt) int {
+	return max(abs(p.X-q.X), abs(p.Y-q.Y))
+}
+
+// Pt3 is a 3-D grid point: a 2-D point on a metal layer.
+type Pt3 struct {
+	X, Y  int
+	Layer int
+}
+
+// XYL is a convenience constructor for Pt3.
+func XYL(x, y, layer int) Pt3 { return Pt3{X: x, Y: y, Layer: layer} }
+
+func (p Pt3) String() string { return fmt.Sprintf("(%d,%d,m%d)", p.X, p.Y, p.Layer) }
+
+// Pt2 returns the in-plane projection of p.
+func (p Pt3) Pt2() Pt { return Pt{p.X, p.Y} }
+
+// Step returns p moved one grid unit in direction d, including via
+// directions which change the layer.
+func (p Pt3) Step(d Dir) Pt3 {
+	dx, dy, dz := d.Delta()
+	return Pt3{p.X + dx, p.Y + dy, p.Layer + dz}
+}
+
+// DirTo returns the direction of the unit step from p to q, or None if
+// q is not one grid unit away from p.
+func (p Pt3) DirTo(q Pt3) Dir {
+	dx, dy, dz := q.X-p.X, q.Y-p.Y, q.Layer-p.Layer
+	switch {
+	case dx == 1 && dy == 0 && dz == 0:
+		return East
+	case dx == -1 && dy == 0 && dz == 0:
+		return West
+	case dx == 0 && dy == 1 && dz == 0:
+		return North
+	case dx == 0 && dy == -1 && dz == 0:
+		return South
+	case dx == 0 && dy == 0 && dz == 1:
+		return Up
+	case dx == 0 && dy == 0 && dz == -1:
+		return Down
+	}
+	return None
+}
+
+// Rect is a half-open axis-aligned rectangle of grid points:
+// X in [MinX, MaxX], Y in [MinY, MaxY], inclusive on both ends.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(a, b Pt) Rect {
+	return Rect{
+		MinX: min(a.X, b.X), MinY: min(a.Y, b.Y),
+		MaxX: max(a.X, b.X), MaxY: max(a.Y, b.Y),
+	}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d..%d,%d]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Width returns the number of grid columns covered by r.
+func (r Rect) Width() int { return r.MaxX - r.MinX + 1 }
+
+// Height returns the number of grid rows covered by r.
+func (r Rect) Height() int { return r.MaxY - r.MinY + 1 }
+
+// Area returns the number of grid points covered by r.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Expand grows r by margin grid units on every side and clips the
+// result to the bounding rectangle clip.
+func (r Rect) Expand(margin int, clip Rect) Rect {
+	out := Rect{r.MinX - margin, r.MinY - margin, r.MaxX + margin, r.MaxY + margin}
+	return out.Intersect(clip)
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: min(r.MinX, s.MinX), MinY: min(r.MinY, s.MinY),
+		MaxX: max(r.MaxX, s.MaxX), MaxY: max(r.MaxY, s.MaxY),
+	}
+}
+
+// Intersect returns the overlap of r and s. The result may be empty;
+// use Empty to test.
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		MinX: max(r.MinX, s.MinX), MinY: max(r.MinY, s.MinY),
+		MaxX: min(r.MaxX, s.MaxX), MaxY: min(r.MaxY, s.MaxY),
+	}
+}
+
+// Empty reports whether r contains no grid points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// AddPt returns the smallest rectangle containing r and p.
+func (r Rect) AddPt(p Pt) Rect {
+	return Rect{
+		MinX: min(r.MinX, p.X), MinY: min(r.MinY, p.Y),
+		MaxX: max(r.MaxX, p.X), MaxY: max(r.MaxY, p.Y),
+	}
+}
+
+// BoundingRect returns the bounding box of a non-empty point set.
+// It panics on an empty slice.
+func BoundingRect(pts []Pt) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingRect of empty point set")
+	}
+	r := Rect{pts[0].X, pts[0].Y, pts[0].X, pts[0].Y}
+	for _, p := range pts[1:] {
+		r = r.AddPt(p)
+	}
+	return r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,209 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirOpposite(t *testing.T) {
+	cases := []struct{ d, want Dir }{
+		{East, West}, {West, East}, {North, South}, {South, North},
+		{Up, Down}, {Down, Up}, {None, None},
+	}
+	for _, c := range cases {
+		if got := c.d.Opposite(); got != c.want {
+			t.Errorf("%v.Opposite() = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDirOppositeInvolution(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+	}
+}
+
+func TestDirClassification(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		h, v, via := d.Horizontal(), d.Vertical(), d.Via()
+		n := 0
+		for _, b := range []bool{h, v, via} {
+			if b {
+				n++
+			}
+		}
+		if d == None {
+			if n != 0 {
+				t.Errorf("None classified as %v/%v/%v", h, v, via)
+			}
+			continue
+		}
+		if n != 1 {
+			t.Errorf("%v in %d classes, want exactly 1", d, n)
+		}
+		if d.Planar() != (h || v) {
+			t.Errorf("%v Planar() inconsistent", d)
+		}
+	}
+}
+
+func TestDirDeltaRoundTrip(t *testing.T) {
+	p := Pt3{5, 7, 2}
+	for _, d := range []Dir{East, West, North, South, Up, Down} {
+		q := p.Step(d)
+		if got := p.DirTo(q); got != d {
+			t.Errorf("DirTo(Step(%v)) = %v", d, got)
+		}
+		if got := q.DirTo(p); got != d.Opposite() {
+			t.Errorf("reverse DirTo for %v = %v", d, got)
+		}
+	}
+}
+
+func TestDirToNonAdjacent(t *testing.T) {
+	p := Pt3{0, 0, 1}
+	for _, q := range []Pt3{{2, 0, 1}, {1, 1, 1}, {0, 0, 3}, {1, 0, 2}, {0, 0, 1}} {
+		if d := p.DirTo(q); d != None {
+			t.Errorf("DirTo(%v) = %v, want None", q, d)
+		}
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if East.String() != "east" || None.String() != "none" {
+		t.Errorf("unexpected Dir strings: %q %q", East, None)
+	}
+	if Dir(99).String() == "" {
+		t.Error("out-of-range Dir has empty String")
+	}
+}
+
+func TestPtDistances(t *testing.T) {
+	a, b := Pt{0, 0}, Pt{1, 2}
+	if d := a.ManhattanDist(b); d != 3 {
+		t.Errorf("ManhattanDist = %d, want 3", d)
+	}
+	if d := a.SqDist(b); d != 5 {
+		t.Errorf("SqDist = %d, want 5", d)
+	}
+	if d := a.ChebyshevDist(b); d != 2 {
+		t.Errorf("ChebyshevDist = %d, want 2", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a, b := Pt{int(ax), int(ay)}, Pt{int(bx), int(by)}
+		return a.ManhattanDist(b) == b.ManhattanDist(a) &&
+			a.SqDist(b) == b.SqDist(a) &&
+			a.ChebyshevDist(b) == b.ChebyshevDist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceInequalities(t *testing.T) {
+	// Chebyshev <= Manhattan and Chebyshev^2 <= SqDist <= Manhattan^2.
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Pt{int(ax), int(ay)}, Pt{int(bx), int(by)}
+		ch, mh, sq := a.ChebyshevDist(b), a.ManhattanDist(b), a.SqDist(b)
+		return ch <= mh && ch*ch <= sq && sq <= mh*mh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt{3, 5}, Pt{1, 2})
+	if r != (Rect{1, 2, 3, 5}) {
+		t.Fatalf("NewRect = %v", r)
+	}
+	if r.Width() != 3 || r.Height() != 4 || r.Area() != 12 {
+		t.Errorf("dims = %d x %d (%d)", r.Width(), r.Height(), r.Area())
+	}
+	if !r.Contains(Pt{1, 2}) || !r.Contains(Pt{3, 5}) || r.Contains(Pt{0, 2}) || r.Contains(Pt{2, 6}) {
+		t.Error("Contains boundary behavior wrong")
+	}
+}
+
+func TestRectExpandClips(t *testing.T) {
+	clip := Rect{0, 0, 10, 10}
+	r := Rect{1, 1, 2, 2}.Expand(3, clip)
+	if r != (Rect{0, 0, 5, 5}) {
+		t.Errorf("Expand = %v", r)
+	}
+	r = Rect{8, 8, 9, 9}.Expand(5, clip)
+	if r != (Rect{3, 3, 10, 10}) {
+		t.Errorf("Expand = %v", r)
+	}
+}
+
+func TestRectIntersectEmpty(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{5, 5, 7, 7}
+	if got := a.Intersect(b); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v not empty", got)
+	}
+	if a.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+}
+
+func TestRectUnionContainsBoth(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		r := NewRect(Pt{int(ax), int(ay)}, Pt{int(bx), int(by)})
+		s := NewRect(Pt{int(cx), int(cy)}, Pt{int(dx), int(dy)})
+		u := r.Union(s)
+		return u.Contains(Pt{r.MinX, r.MinY}) && u.Contains(Pt{r.MaxX, r.MaxY}) &&
+			u.Contains(Pt{s.MinX, s.MinY}) && u.Contains(Pt{s.MaxX, s.MaxY})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	pts := []Pt{{3, 1}, {0, 4}, {2, 2}}
+	r := BoundingRect(pts)
+	if r != (Rect{0, 1, 3, 4}) {
+		t.Errorf("BoundingRect = %v", r)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding rect misses %v", p)
+		}
+	}
+}
+
+func TestBoundingRectPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingRect(nil) did not panic")
+		}
+	}()
+	BoundingRect(nil)
+}
+
+func TestPtStep(t *testing.T) {
+	p := Pt{4, 4}
+	if p.Step(East) != (Pt{5, 4}) || p.Step(North) != (Pt{4, 5}) {
+		t.Error("Pt.Step planar moves wrong")
+	}
+	if p.Step(Up) != p {
+		t.Error("Pt.Step(Up) must not move a 2-D point")
+	}
+}
+
+func TestPt3Step(t *testing.T) {
+	p := Pt3{4, 4, 2}
+	if p.Step(Up) != (Pt3{4, 4, 3}) || p.Step(Down) != (Pt3{4, 4, 1}) {
+		t.Error("Pt3.Step via moves wrong")
+	}
+	if p.Step(West) != (Pt3{3, 4, 2}) {
+		t.Error("Pt3.Step planar move wrong")
+	}
+}

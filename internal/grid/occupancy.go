@@ -1,0 +1,114 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Occupancy tracks which nets occupy each grid point of one routing
+// layer. During negotiated-congestion routing multiple nets may share a
+// point (an overflow); the rip-up-and-reroute loop then needs to know
+// exactly which nets those are, so each cell stores the occupant list.
+// A net occupying a point twice (a route crossing itself at a junction)
+// is stored once per occurrence and removed symmetrically.
+type Occupancy struct {
+	w, h  int
+	cells [][]int32
+	used  int // number of non-empty cells
+}
+
+// NewOccupancy returns an empty occupancy over a w×h grid.
+func NewOccupancy(w, h int) *Occupancy {
+	return &Occupancy{w: w, h: h, cells: make([][]int32, w*h)}
+}
+
+func (o *Occupancy) idx(p geom.Pt) int { return p.Y*o.w + p.X }
+
+// Add records net occupying point p.
+func (o *Occupancy) Add(p geom.Pt, net int32) {
+	i := o.idx(p)
+	if len(o.cells[i]) == 0 {
+		o.used++
+	}
+	o.cells[i] = append(o.cells[i], net)
+}
+
+// Remove removes one occurrence of net at p. It panics if the net does
+// not occupy the point — that would mean route bookkeeping has
+// diverged from the grid.
+func (o *Occupancy) Remove(p geom.Pt, net int32) {
+	i := o.idx(p)
+	cell := o.cells[i]
+	for j, n := range cell {
+		if n == net {
+			cell[j] = cell[len(cell)-1]
+			o.cells[i] = cell[:len(cell)-1]
+			if len(o.cells[i]) == 0 {
+				o.used--
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("grid: Remove(%v, net %d): net not present", p, net))
+}
+
+// Count returns the number of occupants at p (with multiplicity).
+func (o *Occupancy) Count(p geom.Pt) int { return len(o.cells[o.idx(p)]) }
+
+// Nets returns the occupant list at p. The returned slice aliases
+// internal storage and must not be modified.
+func (o *Occupancy) Nets(p geom.Pt) []int32 { return o.cells[o.idx(p)] }
+
+// Occupied reports whether any net occupies p.
+func (o *Occupancy) Occupied(p geom.Pt) bool { return len(o.cells[o.idx(p)]) > 0 }
+
+// OccupiedByOther reports whether a net other than net occupies p.
+func (o *Occupancy) OccupiedByOther(p geom.Pt, net int32) bool {
+	for _, n := range o.cells[o.idx(p)] {
+		if n != net {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether the given net occupies p.
+func (o *Occupancy) Has(p geom.Pt, net int32) bool {
+	for _, n := range o.cells[o.idx(p)] {
+		if n == net {
+			return true
+		}
+	}
+	return false
+}
+
+// Overflow reports whether two or more distinct nets share p.
+func (o *Occupancy) Overflow(p geom.Pt) bool {
+	cell := o.cells[o.idx(p)]
+	if len(cell) < 2 {
+		return false
+	}
+	first := cell[0]
+	for _, n := range cell[1:] {
+		if n != first {
+			return true
+		}
+	}
+	return false
+}
+
+// Overflows calls fn for every point where distinct nets overlap.
+func (o *Occupancy) Overflows(fn func(geom.Pt)) {
+	for y := 0; y < o.h; y++ {
+		for x := 0; x < o.w; x++ {
+			p := geom.XY(x, y)
+			if o.Overflow(p) {
+				fn(p)
+			}
+		}
+	}
+}
+
+// UsedCells returns the number of occupied grid points.
+func (o *Occupancy) UsedCells() int { return o.used }

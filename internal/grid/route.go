@@ -1,0 +1,258 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Route is the routed geometry of one net: an ordered list of paths
+// (polylines of unit grid steps in 3-D), one per two-pin connection
+// made while joining the net's pins. Consecutive points of a path
+// differ by exactly one grid step; an Up/Down step is a via.
+type Route struct {
+	// Net is the owning net's ID.
+	Net int32
+	// Paths holds one polyline per routed connection. Later paths may
+	// terminate on points of earlier ones (Steiner junctions) but do
+	// not duplicate their segments.
+	Paths [][]geom.Pt3
+
+	points []geom.Pt3 // cached deduplicated metal points
+	vias   []geom.Pt3 // cached via base points (lower layer of the pair)
+	arms   map[geom.Pt3]uint8
+	dirty  bool
+}
+
+// dirBit maps a planar direction to its arms bitmask bit.
+func dirBit(d geom.Dir) uint8 {
+	switch d {
+	case geom.East:
+		return 1
+	case geom.West:
+		return 2
+	case geom.North:
+		return 4
+	case geom.South:
+		return 8
+	}
+	return 0
+}
+
+// NewRoute returns an empty route for the given net.
+func NewRoute(net int32) *Route { return &Route{Net: net, dirty: true} }
+
+// AddPath appends a polyline. It panics if consecutive points are not
+// one grid step apart, catching router bugs at the source.
+func (r *Route) AddPath(path []geom.Pt3) {
+	for i := 1; i < len(path); i++ {
+		if path[i-1].DirTo(path[i]) == geom.None {
+			panic(fmt.Sprintf("grid: path step %v -> %v is not a unit step", path[i-1], path[i]))
+		}
+	}
+	r.Paths = append(r.Paths, path)
+	r.dirty = true
+}
+
+// Reset removes all paths.
+func (r *Route) Reset() {
+	r.Paths = r.Paths[:0]
+	r.dirty = true
+}
+
+// Empty reports whether the route has no paths.
+func (r *Route) Empty() bool { return len(r.Paths) == 0 }
+
+func (r *Route) rebuild() {
+	if !r.dirty {
+		return
+	}
+	seenPt := map[geom.Pt3]bool{}
+	seenVia := map[geom.Pt3]bool{}
+	r.points = r.points[:0]
+	r.vias = r.vias[:0]
+	r.arms = make(map[geom.Pt3]uint8)
+	for _, path := range r.Paths {
+		for i, p := range path {
+			if !seenPt[p] {
+				seenPt[p] = true
+				r.points = append(r.points, p)
+			}
+			if i > 0 {
+				prev := path[i-1]
+				d := prev.DirTo(p)
+				if d.Via() {
+					base := prev
+					if d == geom.Down {
+						base = p
+					}
+					if !seenVia[base] {
+						seenVia[base] = true
+						r.vias = append(r.vias, base)
+					}
+				} else {
+					r.arms[prev] |= dirBit(d)
+					r.arms[p] |= dirBit(d.Opposite())
+				}
+			}
+		}
+	}
+	r.dirty = false
+}
+
+// PointList returns the distinct metal grid points the route covers.
+func (r *Route) PointList() []geom.Pt3 {
+	r.rebuild()
+	return r.points
+}
+
+// ViaList returns the distinct vias of the route. A via between layers
+// v and v+1 is reported at Layer v.
+func (r *Route) ViaList() []geom.Pt3 {
+	r.rebuild()
+	return r.vias
+}
+
+// HasPoint reports whether the route covers metal point p.
+func (r *Route) HasPoint(p geom.Pt3) bool {
+	r.rebuild()
+	for _, q := range r.points {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Wirelength returns the number of planar unit segments, counting a
+// segment once even if multiple paths traverse it.
+func (r *Route) Wirelength() int {
+	type seg struct {
+		a, b geom.Pt3
+	}
+	seen := map[seg]bool{}
+	wl := 0
+	for _, path := range r.Paths {
+		for i := 1; i < len(path); i++ {
+			a, b := path[i-1], path[i]
+			if a.DirTo(b).Via() {
+				continue
+			}
+			if b.X < a.X || b.Y < a.Y {
+				a, b = b, a
+			}
+			s := seg{a, b}
+			if !seen[s] {
+				seen[s] = true
+				wl++
+			}
+		}
+	}
+	return wl
+}
+
+// NumVias returns the via count of the route.
+func (r *Route) NumVias() int { return len(r.ViaList()) }
+
+// MetalDirs returns the directions in which the route's metal extends
+// from point p on p's layer (at most 4). It reflects actual routed
+// segments: a direction is included when some path traverses the unit
+// segment between p and its neighbor in that direction.
+func (r *Route) MetalDirs(p geom.Pt3) []geom.Dir {
+	r.rebuild()
+	mask := r.arms[p]
+	if mask == 0 {
+		return nil
+	}
+	out := make([]geom.Dir, 0, 4)
+	for _, d := range geom.PlanarDirs {
+		if mask&dirBit(d) != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ArmMask returns MetalDirs as a bitmask (East=1, West=2, North=4,
+// South=8) without allocating.
+func (r *Route) ArmMask(p geom.Pt3) uint8 {
+	r.rebuild()
+	return r.arms[p]
+}
+
+// HasArm reports whether the route's metal extends from p in direction
+// d.
+func (r *Route) HasArm(p geom.Pt3, d geom.Dir) bool {
+	r.rebuild()
+	return r.arms[p]&dirBit(d) != 0
+}
+
+// Connected reports whether the route's point set is a single
+// connected component containing every point in pins (on layer 0
+// unless the pin is elsewhere). It is the correctness predicate of a
+// routed net.
+func (r *Route) Connected(pins []geom.Pt3) bool {
+	r.rebuild()
+	if len(r.points) == 0 {
+		return len(pins) == 0
+	}
+	index := make(map[geom.Pt3]int, len(r.points))
+	for i, p := range r.points {
+		index[p] = i
+	}
+	for _, pin := range pins {
+		if _, ok := index[pin]; !ok {
+			return false
+		}
+	}
+	// Union-find over traversed segments.
+	parent := make([]int, len(r.points))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, path := range r.Paths {
+		for i := 1; i < len(path); i++ {
+			a, b := index[path[i-1]], index[path[i]]
+			ra, rb := find(a), find(b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	root := -1
+	for _, pin := range pins {
+		pr := find(index[pin])
+		if root == -1 {
+			root = pr
+		} else if pr != root {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonicalize sorts cached point and via lists for deterministic
+// iteration order in tests and reports.
+func (r *Route) Canonicalize() {
+	r.rebuild()
+	less := func(a, b geom.Pt3) bool {
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	}
+	sort.Slice(r.points, func(i, j int) bool { return less(r.points[i], r.points[j]) })
+	sort.Slice(r.vias, func(i, j int) bool { return less(r.vias[i], r.vias[j]) })
+}

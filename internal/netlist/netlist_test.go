@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func sample() *Netlist {
+	return &Netlist{
+		Name: "t", W: 10, H: 8, NumLayers: 2,
+		Nets: []*Net{
+			{ID: 0, Name: "n0", Pins: []geom.Pt{geom.XY(0, 0), geom.XY(5, 3)}},
+			{ID: 1, Name: "n1", Pins: []geom.Pt{geom.XY(2, 2), geom.XY(2, 7), geom.XY(9, 7)}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Netlist)
+	}{
+		{"zero width", func(nl *Netlist) { nl.W = 0 }},
+		{"one layer", func(nl *Netlist) { nl.NumLayers = 1 }},
+		{"pin out of grid", func(nl *Netlist) { nl.Nets[0].Pins[0] = geom.XY(10, 0) }},
+		{"negative pin", func(nl *Netlist) { nl.Nets[0].Pins[0] = geom.XY(-1, 0) }},
+		{"single pin", func(nl *Netlist) { nl.Nets[0].Pins = nl.Nets[0].Pins[:1] }},
+		{"coincident pins", func(nl *Netlist) {
+			nl.Nets[0].Pins = []geom.Pt{geom.XY(1, 1), geom.XY(1, 1)}
+		}},
+		{"bad ID", func(nl *Netlist) { nl.Nets[1].ID = 5 }},
+	}
+	for _, c := range cases {
+		nl := sample()
+		c.mutate(nl)
+		if err := nl.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid netlist", c.name)
+		}
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	n := &Net{Pins: []geom.Pt{geom.XY(1, 1), geom.XY(4, 3)}}
+	if got := n.HPWL(); got != 5 {
+		t.Errorf("HPWL = %d, want 5", got)
+	}
+	nl := sample()
+	if nl.TotalHPWL() != nl.Nets[0].HPWL()+nl.Nets[1].HPWL() {
+		t.Error("TotalHPWL does not sum per-net values")
+	}
+}
+
+func TestNumPins(t *testing.T) {
+	if got := sample().NumPins(); got != 5 {
+		t.Errorf("NumPins = %d, want 5", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	nl := sample()
+	var buf bytes.Buffer
+	if err := nl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != nl.Name || got.W != nl.W || got.H != nl.H || got.NumLayers != nl.NumLayers {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Nets) != len(nl.Nets) {
+		t.Fatalf("net count %d != %d", len(got.Nets), len(nl.Nets))
+	}
+	for i, n := range got.Nets {
+		want := nl.Nets[i]
+		if n.Name != want.Name || len(n.Pins) != len(want.Pins) {
+			t.Errorf("net %d mismatch", i)
+			continue
+		}
+		for j, p := range n.Pins {
+			if p != want.Pins[j] {
+				t.Errorf("net %d pin %d: %v != %v", i, j, p, want.Pins[j])
+			}
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nnetlist x 4 4 2\n# another\nnet a 0 0 3 3\n"
+	nl, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Nets) != 1 || nl.Nets[0].Name != "a" {
+		t.Errorf("parsed %+v", nl)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"netlist x 4 4\nnet a 0 0 1 1\n",   // short header
+		"netlist x 4 4 2\nnet a 0 0 1\n",   // odd coordinate count
+		"netlist x 4 4 2\nbogus\n",         // unknown directive
+		"netlist x 4 4 2\nnet a 0 0 9 9\n", // pin out of grid (validation)
+		"netlist x 4 4 2\nnet a z 0 1 1\n", // non-numeric coordinate
+		"netlist x 4 4 2\nnet a 0 0\n",     // single pin
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: Read accepted malformed input", i)
+		}
+	}
+}
+
+func TestSortNetsByHPWL(t *testing.T) {
+	nl := &Netlist{
+		Name: "s", W: 20, H: 20, NumLayers: 2,
+		Nets: []*Net{
+			{ID: 0, Name: "long", Pins: []geom.Pt{geom.XY(0, 0), geom.XY(15, 15)}},
+			{ID: 1, Name: "short", Pins: []geom.Pt{geom.XY(3, 3), geom.XY(4, 3)}},
+			{ID: 2, Name: "mid", Pins: []geom.Pt{geom.XY(0, 0), geom.XY(5, 5)}},
+		},
+	}
+	nl.SortNetsByHPWL()
+	names := []string{nl.Nets[0].Name, nl.Nets[1].Name, nl.Nets[2].Name}
+	if names[0] != "short" || names[1] != "mid" || names[2] != "long" {
+		t.Errorf("order = %v", names)
+	}
+	for i, n := range nl.Nets {
+		if n.ID != i {
+			t.Errorf("net %q has stale ID %d", n.Name, n.ID)
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		t.Errorf("sorted netlist invalid: %v", err)
+	}
+}

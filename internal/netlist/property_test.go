@@ -1,0 +1,89 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// Random valid netlists survive a Write/Read round trip unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 8+rng.Intn(40), 8+rng.Intn(40)
+		nl := &Netlist{Name: "rt", W: w, H: h, NumLayers: 2 + rng.Intn(3)}
+		used := map[geom.Pt]bool{}
+		nets := 1 + rng.Intn(12)
+		for i := 0; i < nets; i++ {
+			n := &Net{ID: i, Name: "n" + string(rune('a'+i%26)) + "x"}
+			for len(n.Pins) < 2+rng.Intn(3) {
+				p := geom.XY(rng.Intn(w), rng.Intn(h))
+				if !used[p] {
+					used[p] = true
+					n.Pins = append(n.Pins, p)
+				}
+			}
+			nl.Nets = append(nl.Nets, n)
+		}
+		if nl.Validate() != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if nl.Write(&buf) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.W != nl.W || got.H != nl.H || got.NumLayers != nl.NumLayers || len(got.Nets) != len(nl.Nets) {
+			return false
+		}
+		for i, n := range got.Nets {
+			if len(n.Pins) != len(nl.Nets[i].Pins) {
+				return false
+			}
+			for j, p := range n.Pins {
+				if p != nl.Nets[i].Pins[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// HPWL is invariant under pin order permutations and never exceeds the
+// exact route length lower bound relationships.
+func TestHPWLPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := &Net{Pins: make([]geom.Pt, 2+rng.Intn(5))}
+		for i := range n.Pins {
+			n.Pins[i] = geom.XY(rng.Intn(50), rng.Intn(50))
+		}
+		want := n.HPWL()
+		for k := 0; k < 5; k++ {
+			rng.Shuffle(len(n.Pins), func(i, j int) {
+				n.Pins[i], n.Pins[j] = n.Pins[j], n.Pins[i]
+			})
+			if n.HPWL() != want {
+				return false
+			}
+		}
+		// HPWL of a 2-pin net equals Manhattan distance.
+		if len(n.Pins) == 2 && want != n.Pins[0].ManhattanDist(n.Pins[1]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

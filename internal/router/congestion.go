@@ -1,0 +1,109 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// sortedNetSet returns the set's members in ascending order, for
+// deterministic rip-up processing.
+func sortedNetSet(s map[int32]bool) []int32 {
+	out := make([]int32, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// resolveCongestion is the negotiated-congestion rip-up-and-reroute of
+// [20]: while any grid point is shared by distinct nets, bump the
+// point's history cost, rip one of the offenders and reroute it under
+// an escalating present-sharing penalty.
+func (rt *Router) resolveCongestion() error {
+	P := rt.cfg.Params
+	for round := 0; ; round++ {
+		cong := rt.g.Congestions()
+		if len(cong) == 0 {
+			return nil
+		}
+		if round%50 == 0 || len(cong) <= 2 {
+			var detail string
+			if len(cong) <= 2 {
+				for _, p := range cong {
+					detail += fmt.Sprintf(" %v:%v", p, rt.g.Metal[p.Layer].Nets(p.Pt2()))
+				}
+			}
+			rt.logf("congestion round %d: %d overflows%s", round, len(cong), detail)
+		}
+		if rt.stats.RRIterations >= rt.cfg.MaxRRIters {
+			return fmt.Errorf("router: congestion unresolved after %d rip-up iterations (%d overflows left)",
+				rt.stats.RRIterations, len(cong))
+		}
+		// Escalate the sharing penalty so later rounds separate nets
+		// more aggressively. The escalation saturates so the unbounded
+		// history cost eventually dominates route choice — otherwise a
+		// single cheap-but-unresolvable crossing can stay the global
+		// minimum forever.
+		rt.escalatePresFac()
+
+		toRip := map[int32]bool{}
+		for _, p := range cong {
+			pi := rt.g.PIdx(p.Pt2())
+			rt.histMetal[p.Layer][pi] += P.HistInc * CostScale
+			nets := rt.g.Metal[p.Layer].Nets(p.Pt2())
+			if len(nets) == 0 {
+				continue
+			}
+			// Rip one offender, rotated pseudo-randomly so no net is
+			// permanently the victim.
+			pick := nets[rt.rng.Intn(len(nets))]
+			if rt.debugVictim != nil {
+				rt.debugVictim(p, pick)
+			}
+			toRip[pick] = true
+		}
+		order := sortedNetSet(toRip)
+		for _, id := range order {
+			rt.ripUp(id)
+		}
+		for _, id := range order {
+			rt.stats.RRIterations++
+			if err := rt.reroute(id); err != nil {
+				return fmt.Errorf("router: congestion reroute of net %d: %w", id, err)
+			}
+		}
+	}
+}
+
+// escalatePresFac raises the present-sharing penalty up to a
+// saturation point (50× the base penalty).
+func (rt *Router) escalatePresFac() {
+	P := rt.cfg.Params
+	cap := 50 * P.UsagePenalty * CostScale
+	if rt.presFac < cap {
+		rt.presFac += P.UsagePenalty * CostScale / 2
+	}
+}
+
+// viaOwnersAt returns the nets owning a via at site p of via layer vl,
+// by scanning the nets whose metal occupies both endpoint layers —
+// exactly the nets that could have placed the via.
+func (rt *Router) viaOwnersAt(vl int, p geom.Pt) []int32 {
+	var owners []int32
+	for _, id := range rt.g.Metal[vl].Nets(p) {
+		r := rt.routes[id]
+		if r == nil {
+			continue
+		}
+		for _, v := range r.ViaList() {
+			if v.Layer == vl && v.X == p.X && v.Y == p.Y {
+				owners = append(owners, id)
+				break
+			}
+		}
+	}
+	return owners
+}

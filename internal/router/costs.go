@@ -1,0 +1,139 @@
+package router
+
+import (
+	"repro/internal/dvi"
+	"repro/internal/geom"
+	"repro/internal/tpl"
+)
+
+// The cost assignment scheme (Algorithm 1): after a net is routed,
+// penalty costs are added to the routing graph so later nets avoid
+// harming DVI feasibility (BDC, AMC, CDC) and via-layer TPL
+// decomposability (TPLC). Every addition is recorded in the net's
+// ledger so a rip-up can revert exactly what the net contributed, even
+// though the amounts depend on surrounding state at the time they were
+// computed.
+
+// costKind discriminates ledger entries.
+type costKind uint8
+
+const (
+	costMetal costKind = iota // metalCost[layer][pidx] += amount
+	costVia                   // viaCost[vlayer][pidx] += amount
+	costConf                  // viaConf[vlayer][pidx] += amount (TPLC conflict count)
+)
+
+type costEntry struct {
+	kind   costKind
+	layer  int32
+	pidx   int32
+	amount int64
+}
+
+type ledger []costEntry
+
+func (rt *Router) addMetalCost(layer int, p geom.Pt, amount int64, led *ledger) {
+	pi := rt.g.PIdx(p)
+	rt.metalCost[layer][pi] += amount
+	*led = append(*led, costEntry{kind: costMetal, layer: int32(layer), pidx: int32(pi), amount: amount})
+}
+
+func (rt *Router) addViaCost(vlayer int, p geom.Pt, amount int64, led *ledger) {
+	pi := rt.g.PIdx(p)
+	rt.viaCost[vlayer][pi] += amount
+	*led = append(*led, costEntry{kind: costVia, layer: int32(vlayer), pidx: int32(pi), amount: amount})
+}
+
+func (rt *Router) addViaConf(vlayer int, p geom.Pt, amount int64, led *ledger) {
+	pi := rt.g.PIdx(p)
+	rt.viaConf[vlayer][pi] += int32(amount)
+	*led = append(*led, costEntry{kind: costConf, layer: int32(vlayer), pidx: int32(pi), amount: amount})
+}
+
+// applyNetCosts runs Algorithm 1 for a freshly routed net, building its
+// ledger.
+func (rt *Router) applyNetCosts(id int32) {
+	r := rt.routes[id]
+	if r == nil || r.Empty() {
+		return
+	}
+	led := &rt.ledgers[id]
+	P := rt.cfg.Params
+
+	if rt.cfg.ConsiderDVI {
+		// BDC and CDC around each of the net's vias.
+		for _, v := range dvi.ViasOf(r) {
+			feasible := rt.feas.FeasibleDVICs(r, v)
+			if len(feasible) == 0 {
+				continue
+			}
+			bdc := P.Alpha * CostScale / int64(len(feasible))
+			cdc := P.Beta * CostScale / int64(len(feasible))
+			for _, c := range feasible {
+				// Block-DVIC via locations: a foreign via at the
+				// feasible DVIC kills it outright...
+				rt.addViaCost(v.Layer(), c, bdc, led)
+				// ...and foreign metal crossing the DVIC on either
+				// connected layer blocks the extension.
+				rt.addMetalCost(v.Base.Layer, c, bdc, led)
+				rt.addMetalCost(v.Base.Layer+1, c, bdc, led)
+				// Conflict-DVIC via locations: vias whose own DVICs
+				// would share site c (Fig 9(d)).
+				for _, off := range dvi.DVICOffsets {
+					w := c.Add(off.X, off.Y)
+					if w == v.Pos() || !rt.g.InPlane(w) {
+						continue
+					}
+					rt.addViaCost(v.Layer(), w, cdc, led)
+				}
+			}
+		}
+		// AMC: via locations alongside the net's metal would have
+		// their DVICs blocked by this metal (Fig 9(c)).
+		amc := P.AMC * CostScale
+		if amc > 0 {
+			for _, p := range r.PointList() {
+				for _, d := range geom.PlanarDirs {
+					q := p.Pt2().Step(d)
+					if !rt.g.InPlane(q) {
+						continue
+					}
+					for _, vl := range [2]int{p.Layer - 1, p.Layer} {
+						if vl >= 0 && vl < rt.g.NumLayers-1 {
+							rt.addViaCost(vl, q, amc, led)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if rt.cfg.ConsiderTPL {
+		// TPLC: each via raises the coloring-conflict count of every
+		// via location within same-color pitch; the search prices a
+		// prospective via at γ × count (§III-B).
+		for _, v := range dvi.ViasOf(r) {
+			for _, off := range tpl.ConflictOffsets {
+				q := v.Pos().Add(off.X, off.Y)
+				if rt.g.InPlane(q) {
+					rt.addViaConf(v.Layer(), q, 1, led)
+				}
+			}
+		}
+	}
+}
+
+// revertNetCosts undoes the net's ledger.
+func (rt *Router) revertNetCosts(id int32) {
+	for _, e := range rt.ledgers[id] {
+		switch e.kind {
+		case costMetal:
+			rt.metalCost[e.layer][e.pidx] -= e.amount
+		case costVia:
+			rt.viaCost[e.layer][e.pidx] -= e.amount
+		case costConf:
+			rt.viaConf[e.layer][e.pidx] -= int32(e.amount)
+		}
+	}
+	rt.ledgers[id] = rt.ledgers[id][:0]
+}

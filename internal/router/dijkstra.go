@@ -1,0 +1,354 @@
+package router
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+)
+
+// sortSlice is a tiny indirection so router.go needs no sort import of
+// its own.
+func sortSlice(order []int, less func(a, b int) bool) {
+	sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+}
+
+// Search states carry the incoming travel direction so turn legality
+// and turn costs are exact: a planar state's wire arm at point p
+// extends back toward where it came from. Via arrivals are distinct
+// states (no arm on the landing layer, but immediate z-reversal — a
+// via "pump" that would evade turn checks — is forbidden). dirNone
+// states are pin starts and T-branch sources.
+const numDirStates = 7 // none, E, W, N, S, up, down
+
+func dirState(d geom.Dir) int {
+	switch d {
+	case geom.East:
+		return 1
+	case geom.West:
+		return 2
+	case geom.North:
+		return 3
+	case geom.South:
+		return 4
+	case geom.Up:
+		return 5
+	case geom.Down:
+		return 6
+	}
+	return 0
+}
+
+var stateDirs = [numDirStates]geom.Dir{
+	geom.None, geom.East, geom.West, geom.North, geom.South, geom.Up, geom.Down,
+}
+
+// armBit maps a planar direction to the arm bitmask used by
+// grid.Route.ArmMask (East=1, West=2, North=4, South=8).
+func armBit(d geom.Dir) uint8 {
+	switch d {
+	case geom.East:
+		return 1
+	case geom.West:
+		return 2
+	case geom.North:
+		return 4
+	case geom.South:
+		return 8
+	}
+	return 0
+}
+
+func armOf(bit uint8) geom.Dir {
+	switch bit {
+	case 1:
+		return geom.East
+	case 2:
+		return geom.West
+	case 4:
+		return geom.North
+	case 8:
+		return geom.South
+	}
+	return geom.None
+}
+
+// searchScratch holds reusable buffers for the windowed Dijkstra.
+type searchScratch struct {
+	dist   []int64
+	parent []int32
+	win    geom.Rect
+	wW, wH int
+	layers int
+}
+
+const infCost = int64(1) << 62
+
+func (s *searchScratch) reset(win geom.Rect, layers int) {
+	s.win, s.layers = win, layers
+	s.wW, s.wH = win.Width(), win.Height()
+	n := s.wW * s.wH * layers * numDirStates
+	if cap(s.dist) < n {
+		s.dist = make([]int64, n)
+		s.parent = make([]int32, n)
+	} else {
+		s.dist = s.dist[:n]
+		s.parent = s.parent[:n]
+	}
+	for i := range s.dist {
+		s.dist[i] = infCost
+		s.parent[i] = -1
+	}
+}
+
+func (s *searchScratch) stateIdx(p geom.Pt3, ds int) int32 {
+	return int32(((p.Layer*s.wH+(p.Y-s.win.MinY))*s.wW+(p.X-s.win.MinX))*numDirStates + ds)
+}
+
+func (s *searchScratch) statePt(idx int32) (geom.Pt3, int) {
+	ds := int(idx) % numDirStates
+	rest := int(idx) / numDirStates
+	x := rest%s.wW + s.win.MinX
+	rest /= s.wW
+	y := rest%s.wH + s.win.MinY
+	l := rest / s.wH
+	return geom.XYL(x, y, l), ds
+}
+
+// pqItem is a heap entry; stale entries are skipped on pop.
+type pqItem struct {
+	cost int64
+	id   int32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// source is a Dijkstra start state.
+type source struct {
+	p    geom.Pt3
+	din  geom.Dir
+	cost int64
+}
+
+// routeView is the subset of grid.Route the search needs; it keeps the
+// search testable with lightweight fakes.
+type routeView interface {
+	PointList() []geom.Pt3
+	ArmMask(geom.Pt3) uint8
+	Empty() bool
+}
+
+// findPath routes one two-pin connection from the net's connected
+// component (the current route r plus the listed points) to target,
+// using a window-bounded search that grows on failure up to the whole
+// grid.
+func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, net int32) ([]geom.Pt3, error) {
+	var sources []source
+	if r.Empty() {
+		for _, p := range connected {
+			sources = append(sources, source{p: p, din: geom.None})
+		}
+	} else {
+		for _, p := range r.PointList() {
+			sources = append(sources, source{p: p, din: geom.None})
+		}
+	}
+
+	box := geom.NewRect(target.Pt2(), target.Pt2())
+	for _, s := range sources {
+		box = box.AddPt(s.p.Pt2())
+	}
+	clip := rt.g.Bounds()
+	for margin := rt.cfg.SearchMargin; ; margin *= 2 {
+		win := box.Expand(margin, clip)
+		if path, ok := rt.dijkstra(r, sources, target, net, win); ok {
+			return path, nil
+		}
+		if win == clip {
+			return nil, fmt.Errorf("no path to %v (grid exhausted)", target)
+		}
+	}
+}
+
+// turnCheck evaluates the metal shape created at point p when a step
+// exits in direction d: the union of the net's existing arms at p, the
+// moving wire's incoming arm, and d. Exactly-two perpendicular arms
+// form an L whose class gates the step; any other shape carries no
+// L-turn constraint (straight wires, T-junctions, via landings).
+// It returns the additional cost, with ok=false when the L is
+// forbidden.
+func (rt *Router) turnCheck(r routeView, p geom.Pt3, din, d geom.Dir) (extra int64, ok bool) {
+	arms := r.ArmMask(p) | armBit(d)
+	if din.Planar() {
+		arms |= armBit(din.Opposite())
+	}
+	if bits.OnesCount8(arms) != 2 {
+		return 0, true
+	}
+	lo := arms & (arms - 1) // clear lowest set bit
+	a1 := armOf(arms &^ lo)
+	a2 := armOf(lo)
+	corner, isCorner := coloring.CornerOf(a1, a2)
+	if !isCorner {
+		return 0, true // straight (E|W or N|S)
+	}
+	switch rt.cfg.Scheme.Turn(p.Pt2(), corner) {
+	case coloring.Forbidden:
+		return 0, false
+	case coloring.NonPreferred:
+		return rt.cfg.Params.NonPrefTurnCost * CostScale, true
+	}
+	return 0, true
+}
+
+// dijkstra runs the modified Dijkstra search within win. It returns
+// the path source→target, or ok=false when the target is unreachable
+// in the window.
+func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net int32, win geom.Rect) ([]geom.Pt3, bool) {
+	s := &rt.search
+	s.reset(win, rt.g.NumLayers)
+	var q pq
+	for _, src := range sources {
+		if !win.Contains(src.p.Pt2()) {
+			continue
+		}
+		id := s.stateIdx(src.p, dirState(src.din))
+		if src.cost < s.dist[id] {
+			s.dist[id] = src.cost
+			s.parent[id] = -1
+			heap.Push(&q, pqItem{cost: src.cost, id: id})
+		}
+	}
+	P := rt.cfg.Params
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.cost > s.dist[it.id] {
+			continue // stale
+		}
+		p, ds := s.statePt(it.id)
+		if p == target {
+			return s.rebuildPath(it.id), true
+		}
+		din := stateDirs[ds]
+		// Planar moves.
+		for _, d := range geom.PlanarDirs {
+			if din.Planar() && d == din.Opposite() {
+				continue // no U-turns
+			}
+			np := p.Step(d)
+			if !win.Contains(np.Pt2()) {
+				continue
+			}
+			if rt.foreignPin(np, net) {
+				continue
+			}
+			step := CostScale
+			if !rt.g.PrefDir(p.Layer, d) {
+				step = int(P.NonPrefMul) * CostScale
+			}
+			cost := it.cost + int64(step)
+			turnCost, legal := rt.turnCheck(r, p, din, d)
+			if !legal {
+				continue
+			}
+			cost += turnCost
+			cost += rt.metalNodeCost(np, net)
+			nid := s.stateIdx(np, dirState(d))
+			if cost < s.dist[nid] {
+				s.dist[nid] = cost
+				s.parent[nid] = it.id
+				heap.Push(&q, pqItem{cost: cost, id: nid})
+			}
+		}
+		// Via moves.
+		for _, d := range [2]geom.Dir{geom.Up, geom.Down} {
+			if din.Via() && d == din.Opposite() {
+				continue // no via pumps
+			}
+			np := p.Step(d)
+			if np.Layer < 0 || np.Layer >= rt.g.NumLayers {
+				continue
+			}
+			if rt.foreignPin(np, net) {
+				continue
+			}
+			vl := p.Layer
+			if d == geom.Down {
+				vl = np.Layer
+			}
+			pi := rt.g.PIdx(p.Pt2())
+			if rt.blockVia[vl][pi] && !rt.ignoreBlocks {
+				continue
+			}
+			cost := it.cost + P.ViaCost*CostScale +
+				rt.viaCost[vl][pi] + rt.histVia[vl][pi] +
+				int64(rt.viaConf[vl][pi])*P.Gamma*CostScale
+			cost += rt.metalNodeCost(np, net)
+			nid := s.stateIdx(np, dirState(d))
+			if cost < s.dist[nid] {
+				s.dist[nid] = cost
+				s.parent[nid] = it.id
+				heap.Push(&q, pqItem{cost: cost, id: nid})
+			}
+		}
+	}
+	return nil, false
+}
+
+// foreignPin reports whether p is another net's pin cell (layer 0
+// terminals are hard obstacles for every other net).
+func (rt *Router) foreignPin(p geom.Pt3, net int32) bool {
+	if p.Layer != 0 {
+		return false
+	}
+	o := rt.pinOwner[rt.g.PIdx(p.Pt2())]
+	return o != 0 && o != net+1
+}
+
+// metalNodeCost is the dynamic cost of occupying metal point p:
+// assigned costs (BDC spill), history, and the congestion penalty per
+// foreign occupant.
+func (rt *Router) metalNodeCost(p geom.Pt3, net int32) int64 {
+	pi := rt.g.PIdx(p.Pt2())
+	c := rt.metalCost[p.Layer][pi] + rt.histMetal[p.Layer][pi]
+	occ := rt.g.Metal[p.Layer]
+	for _, n := range occ.Nets(p.Pt2()) {
+		if n != net {
+			c += rt.presFac
+		}
+	}
+	return c
+}
+
+func (s *searchScratch) rebuildPath(id int32) []geom.Pt3 {
+	var rev []geom.Pt3
+	for id != -1 {
+		p, _ := s.statePt(id)
+		rev = append(rev, p)
+		id = s.parent[id]
+	}
+	// Reverse in place and drop consecutive duplicates (none expected,
+	// but cheap to guarantee).
+	out := make([]geom.Pt3, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		if len(out) == 0 || out[len(out)-1] != rev[i] {
+			out = append(out, rev[i])
+		}
+	}
+	return out
+}

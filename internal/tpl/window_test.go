@@ -1,0 +1,161 @@
+package tpl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestConflictModel(t *testing.T) {
+	o := geom.XY(0, 0)
+	cases := []struct {
+		p    geom.Pt
+		want bool
+	}{
+		{geom.XY(0, 0), false}, // same site never conflicts with itself
+		{geom.XY(1, 0), true},  // d²=1
+		{geom.XY(1, 1), true},  // d²=2
+		{geom.XY(2, 0), true},  // d²=4, straight two tracks
+		{geom.XY(2, 1), true},  // d²=5, knight move
+		{geom.XY(2, 2), false}, // d²=8, diagonal corners of a window
+		{geom.XY(3, 0), false}, // d²=9
+		{geom.XY(-2, -1), true},
+		{geom.XY(-2, 2), false},
+	}
+	for _, c := range cases {
+		if got := Conflict(o, c.p); got != c.want {
+			t.Errorf("Conflict(origin, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestConflictSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := geom.XY(int(ax), int(ay)), geom.XY(int(bx), int(by))
+		return Conflict(a, b) == Conflict(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConflictOffsetsComplete(t *testing.T) {
+	// 4 at d²=1, 4 at d²=2, 4 at d²=4, 8 at d²=5.
+	if len(ConflictOffsets) != 20 {
+		t.Fatalf("len(ConflictOffsets) = %d, want 20", len(ConflictOffsets))
+	}
+	seen := map[geom.Pt]bool{}
+	for _, off := range ConflictOffsets {
+		if seen[off] {
+			t.Fatalf("duplicate offset %v", off)
+		}
+		seen[off] = true
+		if !Conflict(geom.XY(0, 0), off) {
+			t.Errorf("offset %v listed but not a conflict", off)
+		}
+	}
+}
+
+func TestWindowBitOps(t *testing.T) {
+	var w Window
+	w = w.Set(1, 2).Set(0, 0).Set(2, 1)
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if !w.Has(1, 2) || !w.Has(0, 0) || !w.Has(2, 1) || w.Has(2, 2) {
+		t.Error("Has wrong after Set")
+	}
+	w = w.Clear(0, 0)
+	if w.Has(0, 0) || w.Count() != 2 {
+		t.Error("Clear failed")
+	}
+	// Setting an already-set bit is idempotent.
+	if w.Set(1, 2) != w {
+		t.Error("Set not idempotent")
+	}
+}
+
+// The heart of §II-D: the O(1) FVP rules agree with brute-force
+// 3-coloring on all 512 possible window patterns.
+func TestFVPRulesExhaustive(t *testing.T) {
+	for w := Window(0); w <= windowMask; w++ {
+		fast := w.IsFVP()
+		exact := !w.Colorable3Exact()
+		if fast != exact {
+			t.Fatalf("window %09b (count %d): IsFVP=%v, brute-force uncolorable=%v",
+				w, w.Count(), fast, exact)
+		}
+	}
+}
+
+func TestChromaticNumberExhaustive(t *testing.T) {
+	for w := Window(0); w <= windowMask; w++ {
+		chi := w.ChromaticNumber()
+		if (chi > 3) != w.IsFVP() {
+			t.Fatalf("window %09b: chi=%d but IsFVP=%v", w, chi, w.IsFVP())
+		}
+		if w.Count() == 0 && chi != 0 {
+			t.Fatal("empty window has nonzero chromatic number")
+		}
+	}
+}
+
+// Paper Fig 7 examples, translated to window bit patterns.
+func TestFig7Examples(t *testing.T) {
+	// (a) 5 vias, 4 on corners + center: not an FVP.
+	a := Window(0).Set(0, 0).Set(2, 0).Set(0, 2).Set(2, 2).Set(1, 1)
+	if a.IsFVP() {
+		t.Error("Fig 7(a): 4 corners + center must not be an FVP")
+	}
+	// (b) 5 vias not in the corner configuration: FVP.
+	b := Window(0).Set(0, 0).Set(1, 0).Set(2, 0).Set(0, 2).Set(1, 2)
+	if !b.IsFVP() {
+		t.Error("Fig 7(b): 5-via non-corner pattern must be an FVP")
+	}
+	// (c) 4 vias with two on diagonally opposite corners: not an FVP.
+	c := Window(0).Set(0, 0).Set(2, 2).Set(1, 0).Set(2, 1)
+	if c.IsFVP() {
+		t.Error("Fig 7(c): diagonal-corner 4-via pattern must not be an FVP")
+	}
+	// (d) 4 vias with no diagonally opposite corner pair: FVP.
+	d := Window(0).Set(0, 0).Set(1, 0).Set(0, 1).Set(1, 1)
+	if !d.IsFVP() {
+		t.Error("Fig 7(d): packed 4-via pattern must be an FVP")
+	}
+}
+
+func TestFVPRule1SixOrMore(t *testing.T) {
+	// Any 6-via pattern is an FVP; check a few including the best case
+	// (both diagonal pairs populated).
+	w := Window(0).Set(0, 0).Set(2, 0).Set(0, 2).Set(2, 2).Set(1, 1).Set(1, 0)
+	if !w.IsFVP() {
+		t.Error("6-via pattern with both diagonal pairs must still be an FVP")
+	}
+	if !(windowMask).IsFVP() {
+		t.Error("full window must be an FVP")
+	}
+}
+
+func TestFVPRule4ThreeOrFewer(t *testing.T) {
+	// Any pattern with <= 3 vias is 3-colorable by definition.
+	for w := Window(0); w <= windowMask; w++ {
+		if w.Count() <= 3 && w.IsFVP() {
+			t.Fatalf("window %09b with %d vias classified FVP", w, w.Count())
+		}
+	}
+}
+
+func BenchmarkFVPClassify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := Window(i) & windowMask
+		_ = w.IsFVP()
+	}
+}
+
+func BenchmarkFVPBruteForce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := Window(i) & windowMask
+		_ = w.Colorable3Exact()
+	}
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/decompose"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tpl"
+)
+
+func demoGrid(t *testing.T) (*grid.Grid, []*grid.Route) {
+	t.Helper()
+	g := grid.New(10, 10, 2, coloring.Scheme{Type: coloring.SIM})
+	r := grid.NewRoute(0)
+	r.AddPath([]geom.Pt3{
+		geom.XYL(1, 1, 0), geom.XYL(2, 1, 0), geom.XYL(3, 1, 0),
+		geom.XYL(3, 1, 1), geom.XYL(3, 2, 1),
+	})
+	g.AddRoute(r)
+	return g, []*grid.Route{r}
+}
+
+func TestLayerRender(t *testing.T) {
+	g, _ := demoGrid(t)
+	out := Layer(g, 0, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 10 rows.
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Row y=1 is the second line from the bottom; net 0 renders '0'.
+	row := lines[len(lines)-2]
+	if !strings.Contains(row, "000") {
+		t.Errorf("wire not rendered: %q", row)
+	}
+	if !strings.Contains(lines[0], "metal 2") || !strings.Contains(lines[0], "horizontal") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+}
+
+func TestLayerRenderOverflowAndPins(t *testing.T) {
+	g, _ := demoGrid(t)
+	r2 := grid.NewRoute(1)
+	r2.AddPath([]geom.Pt3{geom.XYL(2, 1, 0), geom.XYL(2, 2, 0)})
+	g.AddRoute(r2)
+	out := Layer(g, 0, Options{Pins: []geom.Pt{geom.XY(8, 8)}})
+	if !strings.Contains(out, "X") {
+		t.Error("overflow not rendered")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("pin not rendered")
+	}
+}
+
+func TestViaLayerRender(t *testing.T) {
+	g, _ := demoGrid(t)
+	out := ViaLayer(g, 0, Options{})
+	if !strings.Contains(out, "o") {
+		t.Error("via not rendered")
+	}
+	// Pack vias into an FVP and check the marker.
+	for _, p := range []geom.Pt{geom.XY(6, 6), geom.XY(7, 6), geom.XY(6, 7), geom.XY(7, 7)} {
+		g.Vias[0].Add(p)
+	}
+	out = ViaLayer(g, 0, Options{})
+	if !strings.Contains(out, "*") {
+		t.Error("FVP membership not rendered")
+	}
+}
+
+func TestColoringRender(t *testing.T) {
+	g, _ := demoGrid(t)
+	graph := tpl.FromLayer(g.Vias[0])
+	colors, _ := graph.WelshPowell(tpl.NumColors)
+	out := Coloring(g, 0, graph, colors, Options{})
+	if !strings.ContainsAny(out, "012") {
+		t.Errorf("no colors rendered:\n%s", out)
+	}
+}
+
+func TestMasksRender(t *testing.T) {
+	g, routes := demoGrid(t)
+	res := decompose.Decompose(g, routes)
+	out := Masks(g, res.Layers[0], Options{})
+	if !strings.ContainsAny(out, "Ms") {
+		t.Errorf("no mask material rendered:\n%s", out)
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	g, _ := demoGrid(t)
+	out := Layer(g, 0, Options{Window: geom.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 2}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("clipped render has %d lines", len(lines))
+	}
+	if len(lines[1]) != 5 {
+		t.Fatalf("clipped row width %d", len(lines[1]))
+	}
+}
+
+func TestNetGlyphStable(t *testing.T) {
+	if netGlyph(0) != '0' || netGlyph(10) != 'a' {
+		t.Error("glyph mapping changed")
+	}
+	if netGlyph(500) == 0 {
+		t.Error("large net id has no glyph")
+	}
+}
