@@ -1,0 +1,140 @@
+// Command benchjson runs the routing-only benchmark (the workload of
+// BenchmarkRoutingOnly, extended to the whole suite) and records the
+// result as JSON, so performance numbers accumulate as comparable
+// artifacts instead of scrollback.
+//
+// Usage:
+//
+//	benchjson [-label after] [-iters 3] [-workers 1] [-out BENCH_1.json]
+//
+// Without -out it writes the first free BENCH_<n>.json in the current
+// directory. When -out names an existing file the new run is appended
+// to its "runs" list — a before/after trajectory lives in one file.
+// The suite is the tiny suite by default; REPRO_BENCH_SCALE=N selects
+// the Table I circuits shrunk by factor N, as in the Go benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/coloring"
+
+	sadproute "repro"
+)
+
+// File is the on-disk BENCH_<n>.json document.
+type File struct {
+	Benchmark string `json:"benchmark"`
+	Runs      []Run  `json:"runs"`
+}
+
+// Run is one measured pass over the suite.
+type Run struct {
+	Label     string    `json:"label"`
+	Date      string    `json:"date"`
+	GoVersion string    `json:"go"`
+	Suite     string    `json:"suite"`
+	Workers   int       `json:"workers"`
+	Iters     int       `json:"iters"`
+	Circuits  []Circuit `json:"circuits"`
+	// TotalNsPerRoute sums the per-circuit minima: the suite's
+	// routing-only ns/op.
+	TotalNsPerRoute int64 `json:"total_ns_per_route"`
+}
+
+// Circuit is one circuit's result; NsPerRoute is the minimum over the
+// run's iterations (the standard noise-resistant estimator).
+type Circuit struct {
+	Name       string `json:"name"`
+	NsPerRoute int64  `json:"ns_per_route"`
+	Wirelength int    `json:"wirelength"`
+	Vias       int    `json:"vias"`
+}
+
+func main() {
+	label := flag.String("label", "run", "label of this run (e.g. seed, after)")
+	iters := flag.Int("iters", 3, "routing repetitions per circuit (minimum time is recorded)")
+	workers := flag.Int("workers", 1, "router Workers setting")
+	out := flag.String("out", "", "output file (default: first free BENCH_<n>.json)")
+	flag.Parse()
+
+	suite, suiteName := pickSuite()
+	run := Run{
+		Label:     *label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Suite:     suiteName,
+		Workers:   *workers,
+		Iters:     *iters,
+	}
+	for _, c := range suite {
+		nl := bench.Generate(c)
+		var best time.Duration
+		var wl, vias int
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			res, err := sadproute.Route(nl, sadproute.Config{
+				SADP: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
+				Workers: *workers,
+			})
+			if err != nil {
+				fail(fmt.Errorf("routing %s: %w", c.Name, err))
+			}
+			if d := time.Since(start); i == 0 || d < best {
+				best = d
+			}
+			wl, vias = res.Stats.Wirelength, res.Stats.Vias
+		}
+		run.Circuits = append(run.Circuits, Circuit{
+			Name: c.Name, NsPerRoute: best.Nanoseconds(),
+			Wirelength: wl, Vias: vias,
+		})
+		run.TotalNsPerRoute += best.Nanoseconds()
+		fmt.Printf("%-8s %12d ns/route  WL %d  #Vias %d\n", c.Name, best.Nanoseconds(), wl, vias)
+	}
+
+	path := *out
+	doc := File{Benchmark: "RoutingOnly"}
+	if path == "" {
+		for n := 1; ; n++ {
+			path = fmt.Sprintf("BENCH_%d.json", n)
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				break
+			}
+		}
+	} else if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fail(fmt.Errorf("existing %s: %w", path, err))
+		}
+	}
+	doc.Runs = append(doc.Runs, run)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%d runs, total %d ns/route)\n", path, len(doc.Runs), run.TotalNsPerRoute)
+}
+
+func pickSuite() ([]bench.Circuit, string) {
+	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return bench.ScaledSuite(n), fmt.Sprintf("scaled/%d", n)
+		}
+	}
+	return bench.TinySuite(), "tiny"
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@
 //
 //	sadproute -in circuit.net [-sadp sim|sid] [-dvi] [-tpl]
 //	          [-method heur|ilp|none] [-ilptime 60s] [-check]
+//	          [-workers N] [-cpuprofile f] [-memprofile f]
 //
 // It prints the metrics the paper's tables report: wirelength, via
 // count, routing CPU, dead via count (#DV) and uncolorable via count
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/coloring"
@@ -25,6 +28,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred profile writers execute
+	// before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("in", "", "input netlist file (required)")
 	sadp := flag.String("sadp", "sim", "SADP type: sim or sid")
 	considerDVI := flag.Bool("dvi", false, "consider DVI during routing (BDC/AMC/CDC)")
@@ -33,20 +42,47 @@ func main() {
 	ilpTime := flag.Duration("ilptime", time.Minute, "ILP time limit")
 	check := flag.Bool("check", false, "run the SADP mask decomposition DRC on the result")
 	seed := flag.Int64("seed", 0, "tie-breaking seed")
+	workers := flag.Int("workers", 1, "parallelism of independent router phases (identical output for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	nl, err := netlist.Read(f)
 	f.Close()
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	typ := coloring.SIM
@@ -55,7 +91,7 @@ func main() {
 	case "sid":
 		typ = coloring.SID
 	default:
-		fail(fmt.Errorf("unknown -sadp %q", *sadp))
+		return fail(fmt.Errorf("unknown -sadp %q", *sadp))
 	}
 
 	start := time.Now()
@@ -64,9 +100,10 @@ func main() {
 		ConsiderDVI: *considerDVI,
 		ConsiderTPL: *considerTPL,
 		Seed:        *seed,
+		Workers:     *workers,
 	})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	routeCPU := time.Since(start)
 	st := res.Stats
@@ -83,10 +120,10 @@ func main() {
 	case "ilp":
 		sol, err = res.InsertDoubleVias(sadproute.ILP, *ilpTime)
 	default:
-		fail(fmt.Errorf("unknown -method %q", *method))
+		return fail(fmt.Errorf("unknown -method %q", *method))
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if sol != nil {
 		fmt.Printf("DVI (%s): inserted %d  #DV %d  #UV %d\n", *method, sol.InsertedCount, sol.DeadVias, sol.Uncolorable)
@@ -104,12 +141,13 @@ func main() {
 			fmt.Printf("  %v\n", v)
 		}
 		if len(hard) > 0 {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "sadproute: %v\n", err)
-	os.Exit(1)
+	return 1
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/coloring"
@@ -33,6 +34,9 @@ type RunSpec struct {
 	Method DVIMethod
 	// ILPTimeLimit bounds the exact solve (0 = 10 minutes).
 	ILPTimeLimit time.Duration
+	// Workers bounds the intra-router parallelism (router.Config
+	// Workers); routing output is identical for any value.
+	Workers int
 }
 
 // Row is one table line: the metrics the paper reports per circuit.
@@ -68,6 +72,7 @@ func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 		ConsiderDVI: spec.ConsiderDVI,
 		ConsiderTPL: spec.ConsiderTPL,
 		Params:      spec.Params,
+		Workers:     spec.Workers,
 	}
 	rt, err := router.New(nl, cfg)
 	if err != nil {
@@ -118,4 +123,35 @@ func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 	row.DV = sol.DeadVias
 	row.UV = sol.Uncolorable
 	return row, art, nil
+}
+
+// RunAll generates and runs every circuit under the spec, routing up
+// to workers circuits concurrently (each circuit's flow is itself
+// deterministic, and rows are returned in circuit order regardless of
+// completion order, so the result is identical for any worker count).
+// The first error in circuit order wins.
+func RunAll(circuits []Circuit, spec RunSpec, workers int) ([]Row, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	rows := make([]Row, len(circuits))
+	errs := make([]error, len(circuits))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, c := range circuits {
+		wg.Add(1)
+		go func(i int, c Circuit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], _, errs[i] = Run(Generate(c), spec)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }

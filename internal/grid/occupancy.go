@@ -60,6 +60,20 @@ func (o *Occupancy) Count(p geom.Pt) int { return len(o.cells[o.idx(p)]) }
 // internal storage and must not be modified.
 func (o *Occupancy) Nets(p geom.Pt) []int32 { return o.cells[o.idx(p)] }
 
+// CountOther returns the number of occupants at p belonging to nets
+// other than net, with multiplicity. It is the hot-path accessor of the
+// router's congestion cost: one bounds-checked slice walk, no slice
+// header escapes, no allocation.
+func (o *Occupancy) CountOther(p geom.Pt, net int32) int {
+	k := 0
+	for _, n := range o.cells[o.idx(p)] {
+		if n != net {
+			k++
+		}
+	}
+	return k
+}
+
 // Occupied reports whether any net occupies p.
 func (o *Occupancy) Occupied(p geom.Pt) bool { return len(o.cells[o.idx(p)]) > 0 }
 

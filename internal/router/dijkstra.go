@@ -1,20 +1,12 @@
 package router
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"repro/internal/coloring"
 	"repro/internal/geom"
 )
-
-// sortSlice is a tiny indirection so router.go needs no sort import of
-// its own.
-func sortSlice(order []int, less func(a, b int) bool) {
-	sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
-}
 
 // Search states carry the incoming travel direction so turn legality
 // and turn costs are exact: a planar state's wire arm at point p
@@ -76,13 +68,32 @@ func armOf(bit uint8) geom.Dir {
 	return geom.None
 }
 
-// searchScratch holds reusable buffers for the windowed Dijkstra.
+// searchScratch holds the reusable state of the windowed search: the
+// epoch-stamped distance/parent arrays, the monomorphic binary heap,
+// and the path-reversal buffer. Nothing in here is allocated per
+// search once the buffers have grown to the largest window seen.
+//
+// Epoch stamping: a cell's dist/parent values are valid only when its
+// stamp equals the current epoch. reset bumps the epoch instead of
+// clearing the arrays, making per-search setup O(1); stale cells read
+// as infCost through distAt.
 type searchScratch struct {
-	dist   []int64
-	parent []int32
-	win    geom.Rect
-	wW, wH int
-	layers int
+	dist    []int64
+	parent  []int32
+	stamp   []uint32
+	epoch   uint32
+	heap    []pqItem
+	pathRev []geom.Pt3
+	win     geom.Rect
+	wW, wH  int
+	layers  int
+
+	// arms caches the partial route's ArmMask per in-window point for
+	// the duration of one search (the route is fixed while the search
+	// runs). It replaces a map lookup per expansion with an array read;
+	// armStamp epoch-validates entries exactly like stamp does for dist.
+	arms     []uint8
+	armStamp []uint32
 }
 
 const infCost = int64(1) << 62
@@ -91,17 +102,83 @@ func (s *searchScratch) reset(win geom.Rect, layers int) {
 	s.win, s.layers = win, layers
 	s.wW, s.wH = win.Width(), win.Height()
 	n := s.wW * s.wH * layers * numDirStates
+	np := s.wW * s.wH * layers
 	if cap(s.dist) < n {
 		s.dist = make([]int64, n)
 		s.parent = make([]int32, n)
+		s.stamp = make([]uint32, n)
+		s.arms = make([]uint8, np)
+		s.armStamp = make([]uint32, np)
+		s.epoch = 0
 	} else {
 		s.dist = s.dist[:n]
 		s.parent = s.parent[:n]
+		s.stamp = s.stamp[:n]
+		s.arms = s.arms[:np]
+		s.armStamp = s.armStamp[:np]
 	}
-	for i := range s.dist {
-		s.dist[i] = infCost
-		s.parent[i] = -1
+	s.epoch++
+	if s.epoch == 0 {
+		// uint32 wraparound: every stale stamp would read as current.
+		// Clear once every ~4 billion searches and restart at 1.
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		for i := range s.armStamp {
+			s.armStamp[i] = 0
+		}
+		s.epoch = 1
 	}
+	s.heap = s.heap[:0]
+}
+
+// pointIdx is the in-window dense index of a 3-D point (no direction
+// component); stateIdx(p, ds) == pointIdx(p)*numDirStates + ds.
+func (s *searchScratch) pointIdx(p geom.Pt3) int32 {
+	return int32((p.Layer*s.wH+(p.Y-s.win.MinY))*s.wW + (p.X - s.win.MinX))
+}
+
+// loadArms records the route's arm masks for every in-window route
+// point; armsAt then serves them from scratch.
+func (s *searchScratch) loadArms(r routeView) {
+	if r.Empty() {
+		return
+	}
+	for _, p := range r.PointList() {
+		if !s.win.Contains(p.Pt2()) || p.Layer >= s.layers {
+			continue
+		}
+		i := s.pointIdx(p)
+		s.arms[i] = r.ArmMask(p)
+		s.armStamp[i] = s.epoch
+	}
+}
+
+// armsAt returns the cached arm mask of p (0 when the route has no
+// metal there).
+func (s *searchScratch) armsAt(p geom.Pt3) uint8 {
+	i := s.pointIdx(p)
+	if s.armStamp[i] != s.epoch {
+		return 0
+	}
+	return s.arms[i]
+}
+
+// distAt returns the tentative distance of a state, infCost when the
+// cell was not written this epoch.
+func (s *searchScratch) distAt(id int32) int64 {
+	if s.stamp[id] != s.epoch {
+		return infCost
+	}
+	return s.dist[id]
+}
+
+// setDist records a tentative distance and parent, stamping the cell
+// into the current epoch.
+func (s *searchScratch) setDist(id int32, d int64, parent int32) {
+	s.stamp[id] = s.epoch
+	s.dist[id] = d
+	s.parent[id] = parent
 }
 
 func (s *searchScratch) stateIdx(p geom.Pt3, ds int) int32 {
@@ -118,27 +195,77 @@ func (s *searchScratch) statePt(idx int32) (geom.Pt3, int) {
 	return geom.XYL(x, y, l), ds
 }
 
-// pqItem is a heap entry; stale entries are skipped on pop.
+// pqItem is a heap entry: f is the A* key — the exact cost g from the
+// sources plus the admissible lower bound to the target (g itself when
+// the bound is disabled). g is recovered at pop time by subtracting
+// the bound. xyl packs the state's absolute coordinates and layer so a
+// pop needs no division to recover them (id still encodes the
+// direction state). Stale entries — whose g exceeds the state's
+// current tentative distance — are skipped on pop.
 type pqItem struct {
-	cost int64
-	id   int32
+	f   int64
+	id  int32
+	xyl uint32
 }
 
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// packXYL fits x and y in 14 bits each and the layer in 4; grids are
+// far below 16384 tracks and 16 layers (grid.New would have to change
+// first).
+func packXYL(p geom.Pt3) uint32 {
+	return uint32(p.X) | uint32(p.Y)<<14 | uint32(p.Layer)<<28
 }
 
-// source is a Dijkstra start state.
+func unpackXYL(v uint32) geom.Pt3 {
+	return geom.XYL(int(v&0x3fff), int(v>>14&0x3fff), int(v>>28))
+}
+
+// hPush and hPop implement a monomorphic binary min-heap on f over
+// s.heap. The comparison sequence replicates container/heap's sift
+// order exactly, so heap layout — and therefore tie-breaking among
+// equal keys — matches the boxed implementation this replaced; hPop
+// uses a hole sift (identical comparisons and final layout, half the
+// writes).
+func (s *searchScratch) hPush(it pqItem) {
+	s.heap = append(s.heap, it)
+	h := s.heap
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h[j].f >= h[i].f {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (s *searchScratch) hPop() pqItem {
+	h := s.heap
+	n := len(h) - 1
+	top := h[0]
+	moved := h[n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h[r].f < h[l].f {
+			j = r
+		}
+		if h[j].f >= moved.f {
+			break
+		}
+		h[i] = h[j]
+		i = j
+	}
+	h[i] = moved
+	s.heap = h[:n]
+	return top
+}
+
+// source is a search start state.
 type source struct {
 	p    geom.Pt3
 	din  geom.Dir
@@ -158,7 +285,7 @@ type routeView interface {
 // using a window-bounded search that grows on failure up to the whole
 // grid.
 func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, net int32) ([]geom.Pt3, error) {
-	var sources []source
+	sources := rt.srcBuf[:0]
 	if r.Empty() {
 		for _, p := range connected {
 			sources = append(sources, source{p: p, din: geom.None})
@@ -168,6 +295,7 @@ func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, n
 			sources = append(sources, source{p: p, din: geom.None})
 		}
 	}
+	rt.srcBuf = sources
 
 	box := geom.NewRect(target.Pt2(), target.Pt2())
 	for _, s := range sources {
@@ -176,7 +304,7 @@ func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, n
 	clip := rt.g.Bounds()
 	for margin := rt.cfg.SearchMargin; ; margin *= 2 {
 		win := box.Expand(margin, clip)
-		if path, ok := rt.dijkstra(r, sources, target, net, win); ok {
+		if path, _, ok := rt.dijkstra(r, sources, target, net, win); ok {
 			return path, nil
 		}
 		if win == clip {
@@ -185,68 +313,117 @@ func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, n
 	}
 }
 
-// turnCheck evaluates the metal shape created at point p when a step
-// exits in direction d: the union of the net's existing arms at p, the
-// moving wire's incoming arm, and d. Exactly-two perpendicular arms
-// form an L whose class gates the step; any other shape carries no
-// L-turn constraint (straight wires, T-junctions, via landings).
-// It returns the additional cost, with ok=false when the L is
-// forbidden.
-func (rt *Router) turnCheck(r routeView, p geom.Pt3, din, d geom.Dir) (extra int64, ok bool) {
-	arms := r.ArmMask(p) | armBit(d)
-	if din.Planar() {
-		arms |= armBit(din.Opposite())
+// forbiddenTurn is the turn-table sentinel for an illegal L.
+const forbiddenTurn = int64(-1)
+
+// buildTurnTab precomputes the turn classification of every (point
+// class, arm mask) pair: the metal shape created at a point is the
+// union of the net's existing arms, the moving wire's incoming arm,
+// and the exit direction. Exactly-two perpendicular arms form an L
+// whose class gates the step; any other shape carries no L-turn
+// constraint (straight wires, T-junctions, via landings). Entries hold
+// the additional cost, or forbiddenTurn when the L is illegal. Turn
+// legality depends on the point only through its coordinate parities
+// (coloring.ClassOf), which is what makes the 4×16 table exhaustive.
+func buildTurnTab(scheme coloring.Scheme, nonPrefTurnCost int64) (tab [coloring.NumPointClasses][16]int64) {
+	for cls := 0; cls < coloring.NumPointClasses; cls++ {
+		p := geom.XY(cls&1, cls>>1) // representative point of the class
+		for arms := uint8(0); arms < 16; arms++ {
+			if bits.OnesCount8(arms) != 2 {
+				continue
+			}
+			lo := arms & (arms - 1) // clear lowest set bit
+			a1 := armOf(arms &^ lo)
+			a2 := armOf(lo)
+			corner, isCorner := coloring.CornerOf(a1, a2)
+			if !isCorner {
+				continue // straight (E|W or N|S)
+			}
+			switch scheme.Turn(p, corner) {
+			case coloring.Forbidden:
+				tab[cls][arms] = forbiddenTurn
+			case coloring.NonPreferred:
+				tab[cls][arms] = nonPrefTurnCost
+			}
+		}
 	}
-	if bits.OnesCount8(arms) != 2 {
-		return 0, true
-	}
-	lo := arms & (arms - 1) // clear lowest set bit
-	a1 := armOf(arms &^ lo)
-	a2 := armOf(lo)
-	corner, isCorner := coloring.CornerOf(a1, a2)
-	if !isCorner {
-		return 0, true // straight (E|W or N|S)
-	}
-	switch rt.cfg.Scheme.Turn(p.Pt2(), corner) {
-	case coloring.Forbidden:
-		return 0, false
-	case coloring.NonPreferred:
-		return rt.cfg.Params.NonPrefTurnCost * CostScale, true
-	}
-	return 0, true
+	return tab
 }
 
-// dijkstra runs the modified Dijkstra search within win. It returns
-// the path source→target, or ok=false when the target is unreachable
-// in the window.
-func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net int32, win geom.Rect) ([]geom.Pt3, bool) {
+// lowerBound is the admissible A* heuristic: every remaining planar
+// unit step costs at least CostScale (the preferred-direction wire
+// cost; non-preferred steps, turn penalties and node costs only add),
+// and every remaining layer crossing costs at least the base via cost.
+// It is consistent — a planar step changes the Manhattan term by at
+// most CostScale and a via step changes the layer term by exactly the
+// via bound — so the first pop of the target is optimal and the found
+// path cost equals plain Dijkstra's.
+func (rt *Router) lowerBound(p, target geom.Pt3) int64 {
+	if rt.noAStar {
+		return 0
+	}
+	md := int64(p.Pt2().ManhattanDist(target.Pt2()))
+	ld := int64(p.Layer - target.Layer)
+	if ld < 0 {
+		ld = -ld
+	}
+	return md*CostScale + ld*rt.minViaCost
+}
+
+// dijkstra runs the goal-directed (A*) variant of the modified
+// Dijkstra search within win. It returns the path source→target and
+// its cost, or ok=false when the target is unreachable in the window.
+func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net int32, win geom.Rect) ([]geom.Pt3, int64, bool) {
 	s := &rt.search
 	s.reset(win, rt.g.NumLayers)
-	var q pq
+	s.loadArms(r)
 	for _, src := range sources {
 		if !win.Contains(src.p.Pt2()) {
 			continue
 		}
 		id := s.stateIdx(src.p, dirState(src.din))
-		if src.cost < s.dist[id] {
-			s.dist[id] = src.cost
-			s.parent[id] = -1
-			heap.Push(&q, pqItem{cost: src.cost, id: id})
+		if src.cost < s.distAt(id) {
+			s.setDist(id, src.cost, -1)
+			s.hPush(pqItem{f: src.cost + rt.lowerBound(src.p, target), id: id, xyl: packXYL(src.p)})
 		}
 	}
 	P := rt.cfg.Params
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.cost > s.dist[it.id] {
+	nonPrefStep := P.NonPrefMul * CostScale
+	baseViaCost := P.ViaCost * CostScale
+	// Neighbor state ids derive incrementally from the popped point
+	// index: one point step is ±1 (x), ±wW (y) or ±wW·wH (layer) in
+	// the dense window layout. pointDelta is ordered like
+	// geom.PlanarDirs; the matching direction states are 1..4.
+	pointDelta := [4]int{1, -1, s.wW, -s.wW}
+	layerDelta := s.wW * s.wH
+	gridDelta := [4]int{1, -1, rt.g.W, -rt.g.W}
+	for len(s.heap) > 0 {
+		it := s.hPop()
+		p := unpackXYL(it.xyl)
+		ds := int(it.id) % numDirStates
+		pIdx := int(it.id) / numDirStates
+		g := it.f - rt.lowerBound(p, target)
+		if g > s.dist[it.id] {
 			continue // stale
 		}
-		p, ds := s.statePt(it.id)
 		if p == target {
-			return s.rebuildPath(it.id), true
+			return s.rebuildPath(it.id), g, true
 		}
 		din := stateDirs[ds]
+		// The metal shape any exit step joins: the net's existing arms
+		// at p plus the moving wire's incoming arm.
+		baseArms := s.armsAt(p)
+		if din.Planar() {
+			baseArms |= armBit(din.Opposite())
+		}
+		turnRow := &rt.turnTab[p.X&1|(p.Y&1)<<1]
+		// Per-layer cost rows, hoisted out of the planar-move loop.
+		mc, hm := rt.metalCost[p.Layer], rt.histMetal[p.Layer]
+		occ := rt.g.Metal[p.Layer]
+		prefHorizontal := rt.g.PrefHorizontal(p.Layer)
+		gp := p.Y*rt.g.W + p.X
 		// Planar moves.
-		for _, d := range geom.PlanarDirs {
+		for di, d := range geom.PlanarDirs {
 			if din.Planar() && d == din.Opposite() {
 				continue // no U-turns
 			}
@@ -257,26 +434,28 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 			if rt.foreignPin(np, net) {
 				continue
 			}
-			step := CostScale
-			if !rt.g.PrefDir(p.Layer, d) {
-				step = int(P.NonPrefMul) * CostScale
-			}
-			cost := it.cost + int64(step)
-			turnCost, legal := rt.turnCheck(r, p, din, d)
-			if !legal {
+			turnCost := turnRow[baseArms|armBit(d)]
+			if turnCost == forbiddenTurn {
 				continue
 			}
-			cost += turnCost
-			cost += rt.metalNodeCost(np, net)
-			nid := s.stateIdx(np, dirState(d))
-			if cost < s.dist[nid] {
-				s.dist[nid] = cost
-				s.parent[nid] = it.id
-				heap.Push(&q, pqItem{cost: cost, id: nid})
+			step := int64(CostScale)
+			if d.Horizontal() != prefHorizontal {
+				step = nonPrefStep
+			}
+			cost := g + step + turnCost
+			pi := gp + gridDelta[di]
+			cost += mc[pi] + hm[pi]
+			if k := occ.CountOther(np.Pt2(), net); k > 0 {
+				cost += int64(k) * rt.presFac
+			}
+			nid := int32((pIdx+pointDelta[di])*numDirStates + di + 1)
+			if cost < s.distAt(nid) {
+				s.setDist(nid, cost, it.id)
+				s.hPush(pqItem{f: cost + rt.lowerBound(np, target), id: nid, xyl: packXYL(np)})
 			}
 		}
 		// Via moves.
-		for _, d := range [2]geom.Dir{geom.Up, geom.Down} {
+		for vi, d := range [2]geom.Dir{geom.Up, geom.Down} {
 			if din.Via() && d == din.Opposite() {
 				continue // no via pumps
 			}
@@ -288,26 +467,27 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 				continue
 			}
 			vl := p.Layer
+			nd := layerDelta
 			if d == geom.Down {
 				vl = np.Layer
+				nd = -layerDelta
 			}
-			pi := rt.g.PIdx(p.Pt2())
+			pi := gp
 			if rt.blockVia[vl][pi] && !rt.ignoreBlocks {
 				continue
 			}
-			cost := it.cost + P.ViaCost*CostScale +
+			cost := g + baseViaCost +
 				rt.viaCost[vl][pi] + rt.histVia[vl][pi] +
 				int64(rt.viaConf[vl][pi])*P.Gamma*CostScale
 			cost += rt.metalNodeCost(np, net)
-			nid := s.stateIdx(np, dirState(d))
-			if cost < s.dist[nid] {
-				s.dist[nid] = cost
-				s.parent[nid] = it.id
-				heap.Push(&q, pqItem{cost: cost, id: nid})
+			nid := int32((pIdx+nd)*numDirStates + 5 + vi)
+			if cost < s.distAt(nid) {
+				s.setDist(nid, cost, it.id)
+				s.hPush(pqItem{f: cost + rt.lowerBound(np, target), id: nid, xyl: packXYL(np)})
 			}
 		}
 	}
-	return nil, false
+	return nil, 0, false
 }
 
 // foreignPin reports whether p is another net's pin cell (layer 0
@@ -326,24 +506,24 @@ func (rt *Router) foreignPin(p geom.Pt3, net int32) bool {
 func (rt *Router) metalNodeCost(p geom.Pt3, net int32) int64 {
 	pi := rt.g.PIdx(p.Pt2())
 	c := rt.metalCost[p.Layer][pi] + rt.histMetal[p.Layer][pi]
-	occ := rt.g.Metal[p.Layer]
-	for _, n := range occ.Nets(p.Pt2()) {
-		if n != net {
-			c += rt.presFac
-		}
+	if k := rt.g.Metal[p.Layer].CountOther(p.Pt2(), net); k > 0 {
+		c += int64(k) * rt.presFac
 	}
 	return c
 }
 
+// rebuildPath walks the parent chain into the reused reversal buffer,
+// then emits the forward path, dropping consecutive duplicates (none
+// expected, but cheap to guarantee). The returned slice is freshly
+// allocated — it outlives the scratch (grid.Route keeps it).
 func (s *searchScratch) rebuildPath(id int32) []geom.Pt3 {
-	var rev []geom.Pt3
+	rev := s.pathRev[:0]
 	for id != -1 {
 		p, _ := s.statePt(id)
 		rev = append(rev, p)
 		id = s.parent[id]
 	}
-	// Reverse in place and drop consecutive duplicates (none expected,
-	// but cheap to guarantee).
+	s.pathRev = rev
 	out := make([]geom.Pt3, 0, len(rev))
 	for i := len(rev) - 1; i >= 0; i-- {
 		if len(out) == 0 || out[len(out)-1] != rev[i] {

@@ -1,0 +1,33 @@
+package router
+
+import "sync"
+
+// parallelRows splits the inclusive row range [y0, y1] into up to
+// workers contiguous bands and runs fn(r0, r1) on each concurrently
+// (inclusive band bounds). fn must confine its writes to rows of its
+// own band; bands are disjoint, so any worker count produces the state
+// a serial scan would. workers ≤ 1 runs fn inline.
+func parallelRows(y0, y1, workers int, fn func(r0, r1 int)) {
+	rows := y1 - y0 + 1
+	if rows <= 0 {
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(y0, y1)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r0 := y0 + rows*w/workers
+		r1 := y0 + rows*(w+1)/workers - 1
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

@@ -89,6 +89,19 @@ type Config struct {
 	MaxTPLRRIters int
 	// Seed drives deterministic tie-breaking choices.
 	Seed int64
+	// GoalDirected enables the admissible A* lower bound in the
+	// windowed search. Path costs stay optimal (the bound is
+	// consistent), but tie-breaking among equal-cost expansions shifts,
+	// so routed geometry — and downstream congestion negotiation — may
+	// differ from the default plain-Dijkstra order. Off by default to
+	// keep results reproducible against the reference tables.
+	GoalDirected bool
+	// Workers bounds the parallelism of the embarrassingly independent
+	// phases (the initial FVP window scan and blocked-via-site scan of
+	// the TPL violation removal). Results are merged deterministically,
+	// so any value produces identical routing output; zero means 1
+	// (serial).
+	Workers int
 }
 
 func (c Config) withDefaults(numNets int) Config {
@@ -103,6 +116,9 @@ func (c Config) withDefaults(numNets int) Config {
 	}
 	if c.MaxTPLRRIters == 0 {
 		c.MaxTPLRRIters = 20*numNets + 2000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 	return c
 }

@@ -1,0 +1,138 @@
+package router
+
+// Tests for the search-core performance machinery: the monomorphic
+// heap, the epoch-stamped scratch, the A* lower bound and the
+// worker-count independence of the parallel phases. These guard the
+// tentpole property that none of the optimizations change routing
+// results.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestHeapPopsNondecreasing is the heap property test: any push
+// sequence pops in nondecreasing key order and returns every element.
+func TestHeapPopsNondecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var s searchScratch
+		n := 1 + rng.Intn(500)
+		sum := int64(0)
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(1000)) // duplicates likely: exercises ties
+			sum += k
+			s.hPush(pqItem{f: k, id: int32(i)})
+		}
+		prev := int64(-1)
+		for i := 0; i < n; i++ {
+			if len(s.heap) == 0 {
+				t.Fatalf("trial %d: heap empty after %d of %d pops", trial, i, n)
+			}
+			it := s.hPop()
+			if it.f < prev {
+				t.Fatalf("trial %d: pop %d decreased: %d after %d", trial, i, it.f, prev)
+			}
+			prev = it.f
+			sum -= it.f
+		}
+		if len(s.heap) != 0 || sum != 0 {
+			t.Fatalf("trial %d: %d leftover items, key sum residue %d", trial, len(s.heap), sum)
+		}
+	}
+}
+
+// TestEpochStaleReadsInf verifies the O(1) reset: values written in one
+// epoch read as infCost after the next reset without any clearing.
+func TestEpochStaleReadsInf(t *testing.T) {
+	var s searchScratch
+	win := geom.Rect{MinX: 0, MinY: 0, MaxX: 9, MaxY: 9}
+	s.reset(win, 2)
+	id := s.stateIdx(geom.XYL(3, 4, 1), 2)
+	if got := s.distAt(id); got != infCost {
+		t.Fatalf("fresh cell reads %d, want infCost", got)
+	}
+	s.setDist(id, 42, 7)
+	if got := s.distAt(id); got != 42 {
+		t.Fatalf("written cell reads %d, want 42", got)
+	}
+	s.reset(win, 2) // same window: same id maps to the same cell
+	if got := s.distAt(id); got != infCost {
+		t.Fatalf("stale cell reads %d after reset, want infCost", got)
+	}
+	// An epoch wraparound must also invalidate stale cells.
+	s.setDist(id, 99, 7)
+	s.epoch = ^uint32(0)
+	s.reset(win, 2)
+	if got := s.distAt(id); got != infCost {
+		t.Fatalf("stale cell reads %d after epoch wraparound, want infCost", got)
+	}
+}
+
+// TestAStarCostsMatchDijkstra: the goal-directed bound is admissible
+// and consistent, so the found path cost must equal plain Dijkstra's on
+// any instance — here random windows of a routed (hence cost-laden)
+// grid.
+func TestAStarCostsMatchDijkstra(t *testing.T) {
+	nl := randomNetlist("astar", 28, 28, 30, 9)
+	cfg := Config{Scheme: coloring.Scheme{Type: coloring.SIM}, ConsiderDVI: true, ConsiderTPL: true}
+	rt := route(t, nl, cfg) // populates metal/via/history costs
+	rng := rand.New(rand.NewSource(77))
+	r := grid.NewRoute(9999)
+	for trial := 0; trial < 40; trial++ {
+		// Random window and endpoints on layer 1 (no pin obstacles).
+		x0, y0 := rng.Intn(14), rng.Intn(14)
+		win := geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + 6 + rng.Intn(8), MaxY: y0 + 6 + rng.Intn(8)}
+		src := geom.XYL(win.MinX+rng.Intn(win.Width()), win.MinY+rng.Intn(win.Height()), 1)
+		dst := geom.XYL(win.MinX+rng.Intn(win.Width()), win.MinY+rng.Intn(win.Height()), 1)
+		sources := []source{{p: src, din: geom.None}}
+
+		rt.noAStar = true
+		_, plainCost, plainOK := rt.dijkstra(r, sources, dst, 9999, win)
+		rt.noAStar = false
+		_, astarCost, astarOK := rt.dijkstra(r, sources, dst, 9999, win)
+		rt.noAStar = true
+
+		if plainOK != astarOK {
+			t.Fatalf("trial %d: reachability differs: plain %v, A* %v", trial, plainOK, astarOK)
+		}
+		if plainOK && plainCost != astarCost {
+			t.Fatalf("trial %d: %v→%v in %v: plain cost %d, A* cost %d",
+				trial, src, dst, win, plainCost, astarCost)
+		}
+	}
+}
+
+// TestWorkersDeterminism: the parallel phases merge deterministically,
+// so any worker count must yield identical stats and identical per-net
+// geometry.
+func TestWorkersDeterminism(t *testing.T) {
+	nl := randomNetlist("wrk", 24, 24, 40, 3) // dense: baseline FVPs exist
+	mk := func(workers int) *Router {
+		cfg := Config{
+			Scheme: coloring.Scheme{Type: coloring.SIM},
+			ConsiderDVI: true, ConsiderTPL: true,
+			Seed: 5, Workers: workers,
+		}
+		return route(t, nl, cfg)
+	}
+	a, b := mk(1), mk(4)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("Workers=1 vs 4 stats differ:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+	for id := range a.Routes() {
+		pa, pb := a.Routes()[id].PointList(), b.Routes()[id].PointList()
+		if len(pa) != len(pb) {
+			t.Fatalf("net %d: point counts differ: %d vs %d", id, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("net %d: point %d differs: %v vs %v", id, i, pa[i], pb[i])
+			}
+		}
+	}
+}

@@ -16,7 +16,9 @@ package router
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
+	"repro/internal/coloring"
 	"repro/internal/dvi"
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -56,6 +58,20 @@ type Router struct {
 	ignoreBlocks bool
 
 	search searchScratch
+	srcBuf []source // reused per-connection source list
+
+	// minViaCost is the precomputed per-layer-crossing term of the A*
+	// lower bound: the base via cost, floored at zero so a pathological
+	// negative parameter degrades to plain Dijkstra instead of an
+	// inadmissible bound.
+	minViaCost int64
+	// noAStar disables the goal-directed lower bound; the search then
+	// runs as plain Dijkstra. Used by the admissibility tests.
+	noAStar bool
+	// turnTab[class][arms] is the precomputed turn cost (or
+	// forbiddenTurn) of the metal shape arms at a point of that color
+	// class; see buildTurnTab.
+	turnTab [coloring.NumPointClasses][16]int64
 
 	stats Stats
 
@@ -103,12 +119,17 @@ func New(nl *netlist.Netlist, cfg Config) (*Router, error) {
 		cfg:     cfg,
 		nl:      nl,
 		g:       g,
+		noAStar: !cfg.GoalDirected,
 		routes:  make([]*grid.Route, len(nl.Nets)),
 		ledgers: make([]ledger, len(nl.Nets)),
 		feas:    dvi.Feasibility{G: g},
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
 	rt.presFac = cfg.Params.UsagePenalty * CostScale
+	if cfg.Params.ViaCost > 0 {
+		rt.minViaCost = cfg.Params.ViaCost * CostScale
+	}
+	rt.turnTab = buildTurnTab(cfg.Scheme, cfg.Params.NonPrefTurnCost*CostScale)
 	np := nl.W * nl.H
 	rt.pinOwner = make([]int32, np)
 	for _, n := range nl.Nets {
@@ -194,9 +215,8 @@ func sortByHPWL(order []int, nets []*netlist.Net) {
 	for i, n := range nets {
 		hp[i] = n.HPWL()
 	}
-	// Simple counting-friendly sort: use sort.Slice equivalent without
-	// importing sort twice — delegate to stdlib.
-	sortSlice(order, func(a, b int) bool {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
 		if hp[a] != hp[b] {
 			return hp[a] < hp[b]
 		}

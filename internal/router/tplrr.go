@@ -35,16 +35,25 @@ func (rt *Router) removeTPLViolations() error {
 	P := rt.cfg.Params
 
 	// Line 2 of Algorithm 2: block via locations that would create an
-	// FVP if used (Fig 10). Full initial scan; incremental updates
-	// after each rip-up/reroute.
+	// FVP if used (Fig 10). Full initial scan — the only whole-grid
+	// sweep of the phase, split into row bands across cfg.Workers
+	// (every band writes its own blockVia rows, so the result is
+	// worker-count independent); incremental updates after each
+	// rip-up/reroute.
 	for vl := range rt.blockVia {
-		rt.rescanBlockedVias(vl, rt.g.Bounds())
+		vl := vl
+		b := rt.g.Bounds()
+		parallelRows(b.MinY, b.MaxY, rt.cfg.Workers, func(r0, r1 int) {
+			rt.rescanBlockedVias(vl, geom.Rect{MinX: b.MinX, MinY: r0, MaxX: b.MaxX, MaxY: r1})
+		})
 	}
 
-	// Initial FVP set (the priority queue's FVP entries).
+	// Initial FVP set (the priority queue's FVP entries), also a
+	// whole-grid scan; AllFVPsN merges its bands in deterministic
+	// order.
 	fvps := map[fvpKey]bool{}
 	for vl, lv := range rt.g.Vias {
-		for _, o := range lv.AllFVPs() {
+		for _, o := range lv.AllFVPsN(rt.cfg.Workers) {
 			fvps[fvpKey{vl, o}] = true
 		}
 	}

@@ -49,6 +49,10 @@ type Config struct {
 	Params router.Params
 	// Seed drives deterministic tie-breaking.
 	Seed int64
+	// Workers bounds the parallelism of the router's independent
+	// phases. Any value produces identical routing output; zero means
+	// serial.
+	Workers int
 }
 
 // Result is a completed routing solution.
@@ -83,6 +87,7 @@ func Route(nl *netlist.Netlist, cfg Config) (*Result, error) {
 		ConsiderTPL: cfg.ConsiderTPL,
 		Params:      cfg.Params,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
