@@ -4,15 +4,18 @@
 // Usage:
 //
 //	sadproute -in circuit.net [-sadp sim|sid] [-dvi] [-tpl]
-//	          [-method heur|ilp|none] [-ilptime 60s] [-check]
+//	          [-method heur|ilp|none] [-ilptime 60s] [-check] [-json]
 //	          [-workers N] [-cpuprofile f] [-memprofile f]
 //
 // It prints the metrics the paper's tables report: wirelength, via
 // count, routing CPU, dead via count (#DV) and uncolorable via count
-// (#UV).
+// (#UV). With -json it emits the exact result schema the sadprouted
+// service returns (internal/service/api.Result), so CLI and service
+// output are interchangeable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +23,11 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/coloring"
-	"repro/internal/dvi"
+	"repro/internal/decompose"
 	"repro/internal/netlist"
-
-	sadproute "repro"
+	"repro/internal/service/api"
 )
 
 func main() {
@@ -33,7 +36,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	in := flag.String("in", "", "input netlist file (required)")
 	sadp := flag.String("sadp", "sim", "SADP type: sim or sid")
 	considerDVI := flag.Bool("dvi", false, "consider DVI during routing (BDC/AMC/CDC)")
@@ -41,6 +44,7 @@ func run() int {
 	method := flag.String("method", "heur", "post-routing DVI: heur, ilp, or none")
 	ilpTime := flag.Duration("ilptime", time.Minute, "ILP time limit")
 	check := flag.Bool("check", false, "run the SADP mask decomposition DRC on the result")
+	jsonOut := flag.Bool("json", false, "emit the service result schema (api.Result) as JSON instead of text")
 	seed := flag.Int64("seed", 0, "tie-breaking seed")
 	workers := flag.Int("workers", 1, "parallelism of independent router phases (identical output for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,16 +66,22 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 	if *memprofile != "" {
+		// The named return lets the deferred writer turn a failed
+		// profile write into a non-zero exit code instead of silently
+		// discarding the error.
 		defer func() {
 			mf, err := os.Create(*memprofile)
 			if err != nil {
-				fail(err)
+				code = failKeep(code, err)
 				return
 			}
-			defer mf.Close()
 			runtime.GC() // report live allocations, not garbage
-			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fail(err)
+			werr := pprof.WriteHeapProfile(mf)
+			cerr := mf.Close()
+			if werr != nil {
+				code = failKeep(code, werr)
+			} else if cerr != nil {
+				code = failKeep(code, cerr)
 			}
 		}()
 	}
@@ -85,62 +95,65 @@ func run() int {
 		return fail(err)
 	}
 
-	typ := coloring.SIM
-	switch *sadp {
-	case "sim":
-	case "sid":
-		typ = coloring.SID
-	default:
-		return fail(fmt.Errorf("unknown -sadp %q", *sadp))
+	typ, err := coloring.ParseSADPType(*sadp)
+	if err != nil {
+		return fail(fmt.Errorf("-sadp: %w", err))
+	}
+	meth, err := bench.ParseDVIMethod(*method)
+	if err != nil {
+		return fail(fmt.Errorf("-method: %w", err))
+	}
+	spec := bench.RunSpec{
+		Scheme:       typ,
+		ConsiderDVI:  *considerDVI,
+		ConsiderTPL:  *considerTPL,
+		Method:       meth,
+		ILPTimeLimit: *ilpTime,
+		Workers:      *workers,
+		Seed:         *seed,
 	}
 
-	start := time.Now()
-	res, err := sadproute.Route(nl, sadproute.Config{
-		SADP:        typ,
-		ConsiderDVI: *considerDVI,
-		ConsiderTPL: *considerTPL,
-		Seed:        *seed,
-		Workers:     *workers,
-	})
+	row, art, err := bench.Run(nl, spec)
 	if err != nil {
 		return fail(err)
 	}
-	routeCPU := time.Since(start)
-	st := res.Stats
-	fmt.Printf("circuit %s: %d nets, %dx%d grid, %s SADP\n", nl.Name, len(nl.Nets), nl.W, nl.H, typ)
-	fmt.Printf("routability %.0f%%  WL %d  #Vias %d  CPU %.2fs  (R&R %d, TPL-R&R %d, FVPs resolved %d)\n",
-		st.Routability*100, st.Wirelength, st.Vias, routeCPU.Seconds(),
-		st.RRIterations, st.TPLRRIterations, st.FVPsResolved)
+	res := api.Result{Spec: spec, Row: row}
+	if art.Solution != nil {
+		res.InsertedVias = art.Solution.InsertedCount
+	}
 
-	var sol *dvi.Solution
-	switch *method {
-	case "none":
-	case "heur":
-		sol, err = res.InsertDoubleVias(sadproute.Heuristic, 0)
-	case "ilp":
-		sol, err = res.InsertDoubleVias(sadproute.ILP, *ilpTime)
-	default:
-		return fail(fmt.Errorf("unknown -method %q", *method))
-	}
-	if err != nil {
-		return fail(err)
-	}
-	if sol != nil {
-		fmt.Printf("DVI (%s): inserted %d  #DV %d  #UV %d\n", *method, sol.InsertedCount, sol.DeadVias, sol.Uncolorable)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return fail(err)
+		}
+	} else {
+		st := art.Router.Stats()
+		fmt.Printf("circuit %s: %d nets, %dx%d grid, %s SADP\n", nl.Name, len(nl.Nets), nl.W, nl.H, typ)
+		fmt.Printf("routability %.0f%%  WL %d  #Vias %d  CPU %.2fs  (R&R %d, TPL-R&R %d, FVPs resolved %d)\n",
+			row.Routability*100, row.WL, row.Vias, row.RouteCPU.Seconds(),
+			st.RRIterations, st.TPLRRIterations, st.FVPsResolved)
+		if art.Solution != nil {
+			fmt.Printf("DVI (%s): inserted %d  #DV %d  #UV %d\n", meth, res.InsertedVias, row.DV, row.UV)
+		}
 	}
 
 	if *check {
-		dec := res.CheckDecomposition()
+		dec := decompose.Decompose(art.Router.Grid(), art.Router.Routes())
 		hard := dec.HardViolations()
-		fmt.Printf("decomposition check: %d hard violations, %d findings total\n", len(hard), len(dec.Violations))
-		for i, v := range hard {
-			if i >= 10 {
-				fmt.Println("  ...")
-				break
+		if !*jsonOut {
+			fmt.Printf("decomposition check: %d hard violations, %d findings total\n", len(hard), len(dec.Violations))
+			for i, v := range hard {
+				if i >= 10 {
+					fmt.Println("  ...")
+					break
+				}
+				fmt.Printf("  %v\n", v)
 			}
-			fmt.Printf("  %v\n", v)
 		}
 		if len(hard) > 0 {
+			fmt.Fprintf(os.Stderr, "sadproute: decomposition check: %d hard violations\n", len(hard))
 			return 1
 		}
 	}
@@ -149,5 +162,14 @@ func run() int {
 
 func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "sadproute: %v\n", err)
+	return 1
+}
+
+// failKeep reports err but preserves an existing non-zero exit code.
+func failKeep(code int, err error) int {
+	fmt.Fprintf(os.Stderr, "sadproute: %v\n", err)
+	if code != 0 {
+		return code
+	}
 	return 1
 }

@@ -1,0 +1,106 @@
+// Command sadprouted serves the full SADP-aware routing flow over an
+// HTTP JSON API: routing-as-a-service on top of internal/service.
+//
+// Usage:
+//
+//	sadprouted [-addr :8080] [-queue 64] [-workers 2] [-cache 128]
+//	           [-job-timeout 10m] [-drain-timeout 60s] [-addr-file f] [-quiet]
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /healthz,
+// GET /metrics. See the README "Serving" section for a curl
+// walkthrough. On SIGTERM/SIGINT the daemon stops accepting
+// submissions, drains every accepted job, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file (for port-0 runs)")
+	queue := flag.Int("queue", 64, "job queue capacity; submissions beyond it get 429")
+	workers := flag.Int("workers", 2, "routing worker pool size")
+	cache := flag.Int("cache", 128, "result cache capacity (entries)")
+	storedJobs := flag.Int("stored-jobs", 1024, "max finished jobs kept for polling")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock limit (0 = none); also caps the DVI ILP budget")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to drain in-flight jobs on shutdown before canceling them")
+	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	svc := service.New(service.Config{
+		QueueSize:     *queue,
+		Workers:       *workers,
+		CacheSize:     *cache,
+		MaxStoredJobs: *storedJobs,
+		JobTimeout:    *jobTimeout,
+		MaxBodyBytes:  *maxBody,
+		Logf:          logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sadprouted: %v\n", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sadprouted: write -addr-file: %v\n", err)
+			return 1
+		}
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("sadprouted: listening on %s (queue=%d workers=%d cache=%d)", ln.Addr(), *queue, *workers, *cache)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sadprouted: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	log.Printf("sadprouted: shutdown signal, draining jobs (timeout %s)", *drainTimeout)
+
+	// Drain the job queue first so clients can still poll results of
+	// in-flight work, then stop the HTTP listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("sadprouted: drain incomplete: %v", err)
+		code = 1
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		log.Printf("sadprouted: http shutdown: %v", err)
+		code = 1
+	}
+	log.Printf("sadprouted: exit")
+	return code
+}

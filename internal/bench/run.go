@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,38 +26,101 @@ const (
 	NoDVI
 )
 
+func (m DVIMethod) String() string {
+	switch m {
+	case ILPDVI:
+		return "ilp"
+	case HeurDVI:
+		return "heur"
+	case NoDVI:
+		return "none"
+	}
+	return fmt.Sprintf("DVIMethod(%d)", uint8(m))
+}
+
+// ParseDVIMethod reads a solver name: "ilp", "heur" or "none".
+func ParseDVIMethod(s string) (DVIMethod, error) {
+	switch strings.ToLower(s) {
+	case "ilp":
+		return ILPDVI, nil
+	case "heur":
+		return HeurDVI, nil
+	case "none":
+		return NoDVI, nil
+	}
+	return NoDVI, fmt.Errorf("unknown DVI method %q (want ilp, heur or none)", s)
+}
+
+// MarshalJSON encodes the method by name so RunSpec doubles as a
+// human-readable wire format.
+func (m DVIMethod) MarshalJSON() ([]byte, error) {
+	switch m {
+	case ILPDVI, HeurDVI, NoDVI:
+		return json.Marshal(m.String())
+	}
+	return nil, fmt.Errorf("cannot marshal %v", m)
+}
+
+// UnmarshalJSON accepts the method name or the raw numeric value.
+func (m *DVIMethod) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := ParseDVIMethod(s)
+		if err != nil {
+			return err
+		}
+		*m = v
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("DVI method: want \"ilp\", \"heur\", \"none\" or 0-2, got %s", b)
+	}
+	if n > uint8(NoDVI) {
+		return fmt.Errorf("DVI method: numeric value %d out of range", n)
+	}
+	*m = DVIMethod(n)
+	return nil
+}
+
 // RunSpec is one experiment configuration: a routing setup plus a
-// post-routing DVI method.
+// post-routing DVI method. It is also the service/CLI wire format
+// (internal/service/api), hence the JSON tags; durations travel as
+// nanosecond integers.
 type RunSpec struct {
-	Scheme      coloring.SADPType
-	ConsiderDVI bool
-	ConsiderTPL bool
+	Scheme      coloring.SADPType `json:"scheme"`
+	ConsiderDVI bool              `json:"consider_dvi"`
+	ConsiderTPL bool              `json:"consider_tpl"`
 	// Params defaults to router.DefaultParams when zero.
-	Params router.Params
-	Method DVIMethod
+	Params router.Params `json:"params"`
+	Method DVIMethod     `json:"method"`
 	// ILPTimeLimit bounds the exact solve (0 = 10 minutes).
-	ILPTimeLimit time.Duration
+	ILPTimeLimit time.Duration `json:"ilp_time_limit,omitempty"`
 	// Workers bounds the intra-router parallelism (router.Config
 	// Workers); routing output is identical for any value.
-	Workers int
+	Workers int `json:"workers,omitempty"`
+	// Seed drives deterministic tie-breaking; unlike Workers it
+	// changes routing output.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Row is one table line: the metrics the paper reports per circuit.
+// Shared with the serving wire format, like RunSpec.
 type Row struct {
-	CKT  string
-	WL   int
-	Vias int
+	CKT  string `json:"ckt"`
+	WL   int    `json:"wl"`
+	Vias int    `json:"vias"`
 	// RouteCPU is the detailed routing time ("CPU" in Tables III–V).
-	RouteCPU time.Duration
+	RouteCPU time.Duration `json:"route_cpu_ns"`
 	// DVICPU is the post-routing DVI time ("CPU" in Tables VI/VII).
-	DVICPU time.Duration
+	DVICPU time.Duration `json:"dvi_cpu_ns"`
 	// DV is the dead via count after post-routing DVI.
-	DV int
+	DV int `json:"dv"`
 	// UV is the uncolorable via count in the DVI solution.
-	UV int
+	UV int `json:"uv"`
 	// Routability is 1.0 on success (the paper reports 100%
 	// everywhere and so do we; kept for honesty).
-	Routability float64
+	Routability float64 `json:"routability"`
 }
 
 // Artifacts exposes the solver state for further analysis (examples,
@@ -67,12 +133,22 @@ type Artifacts struct {
 
 // Run routes the netlist under the spec and solves post-routing DVI.
 func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
+	return RunContext(context.Background(), nl, spec)
+}
+
+// RunContext is Run bounded by a context: cancellation aborts the
+// router cooperatively at its next iteration boundary, and a deadline
+// additionally caps the DVI ILP's time limit. The returned error wraps
+// ctx.Err() when the context caused the abort.
+func RunContext(ctx context.Context, nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 	cfg := router.Config{
 		Scheme:      coloring.Scheme{Type: spec.Scheme},
 		ConsiderDVI: spec.ConsiderDVI,
 		ConsiderTPL: spec.ConsiderTPL,
 		Params:      spec.Params,
 		Workers:     spec.Workers,
+		Seed:        spec.Seed,
+		Cancel:      ctx.Done(),
 	}
 	rt, err := router.New(nl, cfg)
 	if err != nil {
@@ -80,6 +156,9 @@ func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 	}
 	start := time.Now()
 	if err := rt.Run(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Row{}, nil, fmt.Errorf("bench: routing %s: %w", nl.Name, ctxErr)
+		}
 		return Row{}, nil, fmt.Errorf("bench: routing %s: %w", nl.Name, err)
 	}
 	routeCPU := time.Since(start)
@@ -96,6 +175,9 @@ func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 		return row, art, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return Row{}, nil, fmt.Errorf("bench: DVI on %s: %w", nl.Name, err)
+	}
 	in := dvi.NewInstance(rt.Grid(), rt.Routes())
 	art.Instance = in
 	dviStart := time.Now()
@@ -105,6 +187,16 @@ func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 		limit := spec.ILPTimeLimit
 		if limit == 0 {
 			limit = 10 * time.Minute
+		}
+		// A context deadline caps the ILP budget so a per-job timeout
+		// reaches the only unbounded solver in the flow.
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < limit {
+				limit = rem
+			}
+			if limit <= 0 {
+				limit = time.Millisecond // expired between checks: fail fast, not unbounded
+			}
 		}
 		sol, err = in.SolveILP(dvi.ILPOptions{TimeLimit: limit})
 		if err != nil {

@@ -23,7 +23,9 @@
 package coloring
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/geom"
 )
@@ -46,6 +48,50 @@ func (t SADPType) String() string {
 		return "SID"
 	}
 	return fmt.Sprintf("SADPType(%d)", uint8(t))
+}
+
+// ParseSADPType reads a process name ("sim" or "sid", any case).
+func ParseSADPType(s string) (SADPType, error) {
+	switch strings.ToLower(s) {
+	case "sim":
+		return SIM, nil
+	case "sid":
+		return SID, nil
+	}
+	return SIM, fmt.Errorf("unknown SADP type %q (want sim or sid)", s)
+}
+
+// MarshalJSON encodes the type as its lowercase name so wire formats
+// built on these values read naturally ("sim"/"sid").
+func (t SADPType) MarshalJSON() ([]byte, error) {
+	switch t {
+	case SIM, SID:
+		return json.Marshal(strings.ToLower(t.String()))
+	}
+	return nil, fmt.Errorf("cannot marshal %v", t)
+}
+
+// UnmarshalJSON accepts the lowercase/uppercase name or the numeric
+// enum value (legacy encoding of the raw uint8).
+func (t *SADPType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := ParseSADPType(s)
+		if err != nil {
+			return err
+		}
+		*t = v
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("SADP type: want \"sim\", \"sid\" or 0/1, got %s", b)
+	}
+	if n > uint8(SID) {
+		return fmt.Errorf("SADP type: numeric value %d out of range", n)
+	}
+	*t = SADPType(n)
+	return nil
 }
 
 // TurnClass is the SADP decomposability class of an L-shaped metal

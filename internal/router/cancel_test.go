@@ -1,0 +1,57 @@
+package router
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/coloring"
+)
+
+// A pre-closed cancel channel must abort the run with ErrCanceled
+// before any net is routed.
+func TestCancelBeforeRun(t *testing.T) {
+	nl := randomNetlist("cancel", 40, 40, 30, 7)
+	done := make(chan struct{})
+	close(done)
+	rt, err := New(nl, Config{
+		Scheme:      coloring.Scheme{Type: coloring.SIM},
+		ConsiderDVI: true,
+		ConsiderTPL: true,
+		Cancel:      done,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run with closed Cancel: got %v, want ErrCanceled", err)
+	}
+	if rt.Stats().Wirelength != 0 {
+		t.Fatalf("canceled run produced wirelength %d", rt.Stats().Wirelength)
+	}
+}
+
+// A nil (or never-closed) cancel channel must not change the routing
+// result: the channel is polled, never scheduled on.
+func TestCancelChannelInertWhenOpen(t *testing.T) {
+	run := func(cancel <-chan struct{}) Stats {
+		nl := randomNetlist("inert", 40, 40, 30, 7)
+		rt, err := New(nl, Config{
+			Scheme:      coloring.Scheme{Type: coloring.SIM},
+			ConsiderDVI: true,
+			ConsiderTPL: true,
+			Cancel:      cancel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats()
+	}
+	base := run(nil)
+	withChan := run(make(chan struct{}))
+	if base != withChan {
+		t.Fatalf("open cancel channel changed stats: %+v vs %+v", base, withChan)
+	}
+}

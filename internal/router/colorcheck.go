@@ -21,6 +21,9 @@ const maxColorFixRounds = 50
 
 func (rt *Router) ensureColorable() error {
 	for round := 0; ; round++ {
+		if err := rt.checkCancel(); err != nil {
+			return err
+		}
 		uncolorable := rt.uncolorableVias()
 		if len(uncolorable) == 0 {
 			return nil

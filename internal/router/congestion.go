@@ -25,6 +25,9 @@ func sortedNetSet(s map[int32]bool) []int32 {
 func (rt *Router) resolveCongestion() error {
 	P := rt.cfg.Params
 	for round := 0; ; round++ {
+		if err := rt.checkCancel(); err != nil {
+			return err
+		}
 		cong := rt.g.Congestions()
 		if len(cong) == 0 {
 			return nil

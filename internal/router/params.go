@@ -13,30 +13,30 @@ const CostScale = 12
 type Params struct {
 	// Alpha weights the block-DVIC cost: BDC = Alpha / #feasibleDVICs
 	// (§III-B).
-	Alpha int64
+	Alpha int64 `json:"alpha"`
 	// AMC is the constant along-metal cost (§III-B).
-	AMC int64
+	AMC int64 `json:"amc"`
 	// Beta weights the conflict-DVIC cost: CDC = Beta / #feasibleDVICs
 	// (§III-B).
-	Beta int64
+	Beta int64 `json:"beta"`
 	// Gamma weights the TPL cost: TPLC = Gamma × #coloringConflicts
 	// (§III-B).
-	Gamma int64
+	Gamma int64 `json:"gamma"`
 
 	// ViaCost is the cost of one via in wire-segment units.
-	ViaCost int64
+	ViaCost int64 `json:"via_cost"`
 	// NonPrefMul multiplies the wire cost of segments in the
 	// non-preferred routing direction ("strongly discouraged", §II-A).
-	NonPrefMul int64
+	NonPrefMul int64 `json:"non_pref_mul"`
 	// NonPrefTurnCost penalizes a non-preferred turn in wire-segment
 	// units.
-	NonPrefTurnCost int64
+	NonPrefTurnCost int64 `json:"non_pref_turn_cost"`
 	// UsagePenalty is the base negotiated-congestion penalty per
 	// conflicting occupant; it escalates with rip-up iterations.
-	UsagePenalty int64
+	UsagePenalty int64 `json:"usage_penalty"`
 	// HistInc is the history cost increment added to a congested or
 	// FVP resource per R&R round.
-	HistInc int64
+	HistInc int64 `json:"hist_inc"`
 }
 
 // DefaultParams returns the parameter values of Table II with the base
@@ -102,6 +102,11 @@ type Config struct {
 	// so any value produces identical routing output; zero means 1
 	// (serial).
 	Workers int
+	// Cancel, when non-nil, aborts the run cooperatively: the router
+	// polls it at iteration boundaries (per net in the initial phase,
+	// per rip-up round afterwards) and returns ErrCanceled once it is
+	// closed. Wire a context's Done() channel here to bound a run.
+	Cancel <-chan struct{}
 }
 
 func (c Config) withDefaults(numNets int) Config {

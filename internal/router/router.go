@@ -14,6 +14,7 @@
 package router
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -108,6 +109,26 @@ type Stats struct {
 	ColorFixIterations int
 }
 
+// ErrCanceled reports that the run was aborted through Config.Cancel.
+// Callers that wire a context into Cancel should translate it back
+// with errors.Is and ctx.Err().
+var ErrCanceled = errors.New("router: run canceled")
+
+// checkCancel polls the cooperative cancellation channel. It is called
+// at iteration boundaries only — never inside a single net's search —
+// so a canceled run stops within one rip-up round.
+func (rt *Router) checkCancel() error {
+	if rt.cfg.Cancel == nil {
+		return nil
+	}
+	select {
+	case <-rt.cfg.Cancel:
+		return ErrCanceled
+	default:
+		return nil
+	}
+}
+
 // New prepares a router for the netlist. The netlist must validate.
 func New(nl *netlist.Netlist, cfg Config) (*Router, error) {
 	if err := nl.Validate(); err != nil {
@@ -171,6 +192,9 @@ func (rt *Router) Run() error {
 	nets := rt.nl.Nets
 	sortByHPWL(order, nets)
 	for _, id := range order {
+		if err := rt.checkCancel(); err != nil {
+			return err
+		}
 		if err := rt.routeNet(int32(id)); err != nil {
 			return fmt.Errorf("router: initial routing of net %q: %w", nets[id].Name, err)
 		}

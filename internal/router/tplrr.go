@@ -59,6 +59,9 @@ func (rt *Router) removeTPLViolations() error {
 	}
 
 	for iter := 0; ; iter++ {
+		if err := rt.checkCancel(); err != nil {
+			return err
+		}
 		if iter%100 == 0 {
 			rt.logf("tplrr iter %d: %d congestions, %d fvp entries", iter, len(rt.g.Congestions()), len(fvps))
 		}

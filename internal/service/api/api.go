@@ -1,0 +1,89 @@
+// Package api defines the one result schema shared by the sadprouted
+// HTTP service and the sadproute CLI's -json output. It deliberately
+// reuses internal/bench's RunSpec (the experiment configuration) and
+// Row (the Table-style metrics) as the wire format instead of
+// inventing a parallel schema: anything that can drive the benchmark
+// harness can drive the service, and vice versa.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Netlist is the placed netlist in internal/netlist text format.
+	Netlist string `json:"netlist"`
+	// Spec configures routing and post-routing DVI. Enum fields take
+	// their string names ("sim"/"sid", "ilp"/"heur"/"none"); a zero
+	// Params block means the paper's Table II defaults.
+	Spec bench.RunSpec `json:"spec"`
+}
+
+// Result is the completed-flow output: what `sadproute -json` prints
+// and what a finished job's JobResponse embeds.
+type Result struct {
+	// Spec echoes the configuration the flow actually ran.
+	Spec bench.RunSpec `json:"spec"`
+	// Row carries the paper's table metrics: WL, vias, #DV, #UV,
+	// routing and DVI CPU (nanoseconds), routability.
+	Row bench.Row `json:"row"`
+	// InsertedVias counts redundant vias inserted by post-routing DVI
+	// (0 when Spec.Method is "none").
+	InsertedVias int `json:"inserted_vias"`
+}
+
+// JobStatus is the lifecycle of a submitted job.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// SubmitResponse is the body of a successful POST /v1/jobs (202).
+type SubmitResponse struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// CacheHit is true when the result was served from the result
+	// cache without routing; the job is born in state "done".
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Deduped is true when an identical submission was already queued
+	// or running; ID names that existing job (single-flight).
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// JobResponse is the body of GET /v1/jobs/{id}.
+type JobResponse struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Error carries the failure message when Status is "failed".
+	Error string `json:"error,omitempty"`
+	// CacheHit marks results served from the cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Result is the marshaled Result, present when Status is "done".
+	// It is stored as raw bytes so cache replays are byte-identical.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeResult unpacks a JobResponse's raw result.
+func (j *JobResponse) DecodeResult() (*Result, error) {
+	if j.Result == nil {
+		return nil, fmt.Errorf("job %s (%s) has no result", j.ID, j.Status)
+	}
+	var r Result
+	if err := json.Unmarshal(j.Result, &r); err != nil {
+		return nil, fmt.Errorf("job %s: bad result payload: %w", j.ID, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/coloring"
+	"repro/internal/router"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Add("a", json.RawMessage(`1`))
+	c.Add("b", json.RawMessage(`2`))
+	if _, ok := c.Get("a"); !ok { // promote a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", json.RawMessage(`3`))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite promotion")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	c.Add("c", json.RawMessage(`33`))
+	if v, _ := c.Get("c"); string(v) != `33` {
+		t.Fatalf("refresh did not update value: %s", v)
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	nl := "netlist t 8 8 2\nnet a 1 1 5 1\n"
+	base := bench.RunSpec{Scheme: coloring.SIM, ConsiderDVI: true, Method: bench.HeurDVI}
+
+	workers := base
+	workers.Workers = 8
+	if cacheKey(nl, base) != cacheKey(nl, workers) {
+		t.Fatal("Workers must not affect the cache key (output is worker-invariant)")
+	}
+
+	defaults := base
+	defaults.Params = router.DefaultParams()
+	if cacheKey(nl, base) != cacheKey(nl, defaults) {
+		t.Fatal("zero Params and explicit defaults must share a key")
+	}
+
+	heurLimit := base
+	heurLimit.ILPTimeLimit = time.Minute
+	if cacheKey(nl, base) != cacheKey(nl, heurLimit) {
+		t.Fatal("ILPTimeLimit must be ignored for non-ILP methods")
+	}
+
+	ilpZero := base
+	ilpZero.Method = bench.ILPDVI
+	ilpTen := ilpZero
+	ilpTen.ILPTimeLimit = 10 * time.Minute
+	if cacheKey(nl, ilpZero) != cacheKey(nl, ilpTen) {
+		t.Fatal("ILP zero time limit must normalize to the 10-minute default")
+	}
+	ilpOther := ilpZero
+	ilpOther.ILPTimeLimit = time.Minute
+	if cacheKey(nl, ilpZero) == cacheKey(nl, ilpOther) {
+		t.Fatal("distinct ILP time limits must not share a key")
+	}
+
+	sid := base
+	sid.Scheme = coloring.SID
+	if cacheKey(nl, base) == cacheKey(nl, sid) {
+		t.Fatal("SIM and SID must not share a key")
+	}
+	if cacheKey(nl, base) == cacheKey(nl+"#\n", base) {
+		t.Fatal("different netlist bytes must not share a key")
+	}
+}
+
+func TestJobStoreEvictsOnlyFinished(t *testing.T) {
+	st := newJobStore(2)
+	mk := func(i int) *job { return newJob(fmt.Sprintf("j%d", i), "k", nil, bench.RunSpec{}) }
+	j1, j2, j3 := mk(1), mk(2), mk(3)
+	j1.finish(json.RawMessage(`{}`), false)
+	st.Add(j1)
+	st.Add(j2)
+	st.Add(j3) // over capacity: j1 (finished) goes, live j2/j3 stay
+	if _, ok := st.Get("j1"); ok {
+		t.Fatal("finished j1 should have been evicted")
+	}
+	for _, id := range []string{"j2", "j3"} {
+		if _, ok := st.Get(id); !ok {
+			t.Fatalf("live job %s evicted", id)
+		}
+	}
+}

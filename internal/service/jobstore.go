@@ -1,0 +1,123 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+	"repro/internal/service/api"
+)
+
+// job is one submission's lifecycle record. The immutable identity
+// fields are set at creation; the mutable state is guarded by mu and
+// done is closed exactly once on reaching a terminal state.
+type job struct {
+	id   string
+	key  string // content address (cacheKey)
+	nl   *netlist.Netlist
+	spec bench.RunSpec
+
+	mu       sync.Mutex
+	status   api.JobStatus
+	errMsg   string
+	result   json.RawMessage
+	cacheHit bool
+
+	done chan struct{}
+}
+
+func newJob(id, key string, nl *netlist.Netlist, spec bench.RunSpec) *job {
+	return &job{id: id, key: key, nl: nl, spec: spec, status: api.StatusQueued, done: make(chan struct{})}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = api.StatusRunning
+	j.mu.Unlock()
+}
+
+// finish records a successful result and wakes waiters.
+func (j *job) finish(result json.RawMessage, cacheHit bool) {
+	j.mu.Lock()
+	j.status = api.StatusDone
+	j.result = result
+	j.cacheHit = cacheHit
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// fail records a terminal error and wakes waiters.
+func (j *job) fail(msg string) {
+	j.mu.Lock()
+	j.status = api.StatusFailed
+	j.errMsg = msg
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// response snapshots the job as the wire JobResponse.
+func (j *job) response() api.JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.JobResponse{
+		ID:       j.id,
+		Status:   j.status,
+		Error:    j.errMsg,
+		CacheHit: j.cacheHit,
+		Result:   j.result,
+	}
+}
+
+// jobStore is the id → job index with FIFO eviction of *finished*
+// jobs beyond max, so an unbounded stream of submissions cannot grow
+// memory without bound while live jobs are never dropped.
+type jobStore struct {
+	mu    sync.Mutex
+	max   int
+	jobs  map[string]*job
+	order []string // insertion order, for eviction scans
+}
+
+func newJobStore(max int) *jobStore {
+	return &jobStore{max: max, jobs: make(map[string]*job)}
+}
+
+func (s *jobStore) Add(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.jobs) <= s.max {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.jobs) - s.max
+	for _, id := range s.order {
+		if excess > 0 {
+			if jj, ok := s.jobs[id]; ok && jj.finished() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *jobStore) Get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}

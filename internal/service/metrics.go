@@ -1,0 +1,70 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the service's operational counters. All fields are
+// monotonic counters unless noted; gauges (queue depth, in-flight
+// jobs, cache size) are sampled live at render time because they are
+// owned by other structures.
+type Metrics struct {
+	// Submitted counts POST /v1/jobs requests that decoded and
+	// validated successfully (including cache hits and dedups).
+	Submitted atomic.Int64
+	// Rejected counts submissions refused with 429 (queue full).
+	Rejected atomic.Int64
+	// Deduped counts submissions coalesced onto an already queued or
+	// running identical job (single-flight).
+	Deduped atomic.Int64
+	// CacheHits / CacheMisses count result-cache lookups at submit.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Routed counts jobs a worker actually started the flow for — a
+	// cache hit is visible as Submitted increasing while Routed does
+	// not.
+	Routed atomic.Int64
+	// Completed / Failed count terminal worker outcomes.
+	Completed atomic.Int64
+	Failed    atomic.Int64
+	// Canceled counts jobs aborted by the per-job timeout or shutdown.
+	Canceled atomic.Int64
+}
+
+// Gauges are point-in-time values rendered next to the counters.
+type Gauges struct {
+	QueueDepth int
+	Inflight   int
+	CacheSize  int
+	Draining   bool
+}
+
+// WritePrometheus renders the metrics in the Prometheus text
+// exposition format (hand-rolled: the repo takes no dependencies).
+func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("sadprouted_jobs_submitted_total", "Accepted job submissions.", m.Submitted.Load())
+	counter("sadprouted_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.Rejected.Load())
+	counter("sadprouted_jobs_deduped_total", "Submissions single-flighted onto an in-flight identical job.", m.Deduped.Load())
+	counter("sadprouted_cache_hits_total", "Submissions served from the result cache.", m.CacheHits.Load())
+	counter("sadprouted_cache_misses_total", "Submissions that missed the result cache.", m.CacheMisses.Load())
+	counter("sadprouted_jobs_routed_total", "Jobs whose routing flow actually ran.", m.Routed.Load())
+	counter("sadprouted_jobs_completed_total", "Jobs that finished successfully.", m.Completed.Load())
+	counter("sadprouted_jobs_failed_total", "Jobs that finished with an error.", m.Failed.Load())
+	counter("sadprouted_jobs_canceled_total", "Jobs aborted by timeout or shutdown.", m.Canceled.Load())
+	gauge("sadprouted_queue_depth", "Jobs waiting in the FIFO queue.", int64(g.QueueDepth))
+	gauge("sadprouted_jobs_inflight", "Jobs currently being routed.", int64(g.Inflight))
+	gauge("sadprouted_cache_entries", "Entries in the result cache.", int64(g.CacheSize))
+	d := int64(0)
+	if g.Draining {
+		d = 1
+	}
+	gauge("sadprouted_draining", "1 while the service is draining for shutdown.", d)
+}

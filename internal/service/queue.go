@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// startWorkers launches the fixed worker pool. Each worker pulls jobs
+// off the bounded FIFO channel until Shutdown closes it; because the
+// workers keep draining after close, every job that was accepted with
+// 202 is driven to a terminal state before Shutdown returns.
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// runJob drives one job through the flow under the per-job timeout.
+func (s *Server) runJob(j *job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	ctx := s.baseCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	j.setRunning()
+	s.metrics.Routed.Add(1)
+	res, err := s.run(ctx, j.nl, j.spec)
+
+	// Reach the terminal state (and, on success, populate the cache)
+	// BEFORE releasing the single-flight key: a concurrent identical
+	// submission must either coalesce onto this job or hit the cache —
+	// never land in a gap between the two and route again.
+	switch {
+	case err != nil:
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.Canceled.Add(1)
+		}
+		s.metrics.Failed.Add(1)
+		j.fail(err.Error())
+		s.logf("job %s failed: %v", j.id, err)
+	default:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			s.metrics.Failed.Add(1)
+			j.fail(fmt.Sprintf("marshal result: %v", merr))
+			break
+		}
+		s.cache.Add(j.key, raw)
+		s.metrics.Completed.Add(1)
+		j.finish(raw, false)
+		s.logf("job %s done: ckt=%s wl=%d vias=%d dv=%d uv=%d", j.id, res.Row.CKT, res.Row.WL, res.Row.Vias, res.Row.DV, res.Row.UV)
+	}
+
+	s.mu.Lock()
+	if s.running[j.key] == j {
+		delete(s.running, j.key)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,326 @@
+// Package service implements routing-as-a-service: an HTTP JSON API
+// over the full paper flow (SIM/SID routing → TPL violation removal →
+// post-routing DVI) with a bounded FIFO job queue, a fixed worker
+// pool, a content-addressed LRU result cache, single-flighting of
+// identical submissions, per-job timeouts, backpressure (429 +
+// Retry-After) and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/jobs      submit {netlist, spec} → 202 {id} (200 on cache hit)
+//	GET  /v1/jobs/{id} poll status; result embedded when done
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text counters/gauges
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+	"repro/internal/service/api"
+)
+
+// RunFunc executes one job's flow. The default implementation is
+// bench.RunContext wrapped into the api.Result schema; tests inject
+// controllable stand-ins.
+type RunFunc func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error)
+
+// Config sizes the service. Zero values take the defaults noted.
+type Config struct {
+	// QueueSize bounds the FIFO of accepted-but-not-started jobs
+	// (default 64). Submissions beyond it are rejected with 429.
+	QueueSize int
+	// Workers is the routing worker pool size (default 2).
+	Workers int
+	// CacheSize is the result cache capacity in entries (default 128).
+	CacheSize int
+	// MaxStoredJobs bounds the id → job index; finished jobs are
+	// evicted FIFO beyond it (default 1024).
+	MaxStoredJobs int
+	// JobTimeout bounds one job's flow; the deadline also caps the
+	// DVI ILP time limit. Zero means no timeout.
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxGridCells rejects netlists whose W×H×layers exceeds it
+	// (default 16M): the grid allocates per cell, and the netlist is
+	// user-supplied input.
+	MaxGridCells int
+	// MaxNets bounds the net count per submission (default 200000).
+	MaxNets int
+	// Run overrides the flow (tests). Nil means the real flow.
+	Run RunFunc
+	// Logf, when set, receives one line per job transition.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxStoredJobs <= 0 {
+		c.MaxStoredJobs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxGridCells <= 0 {
+		c.MaxGridCells = 16 << 20
+	}
+	if c.MaxNets <= 0 {
+		c.MaxNets = 200000
+	}
+	if c.Run == nil {
+		c.Run = defaultRun
+	}
+	return c
+}
+
+// defaultRun is the real flow: route + post-routing DVI via the bench
+// harness, wrapped into the shared result schema.
+func defaultRun(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error) {
+	row, art, err := bench.RunContext(ctx, nl, spec)
+	if err != nil {
+		return api.Result{}, err
+	}
+	res := api.Result{Spec: spec, Row: row}
+	if art != nil && art.Solution != nil {
+		res.InsertedVias = art.Solution.InsertedCount
+	}
+	return res, nil
+}
+
+// Server is the routing service. Create with New, mount Handler() on
+// an http.Server, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	run     RunFunc
+	metrics Metrics
+	cache   *resultCache
+	store   *jobStore
+	queue   chan *job
+
+	mu      sync.Mutex
+	closed  bool            // no new submissions; queue is closed
+	running map[string]*job // key → queued-or-running job (single-flight)
+
+	wg       sync.WaitGroup // worker pool
+	inflight atomic.Int64
+	seq      atomic.Int64
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		run:     cfg.Run,
+		cache:   newResultCache(cfg.CacheSize),
+		store:   newJobStore(cfg.MaxStoredJobs),
+		queue:   make(chan *job, cfg.QueueSize),
+		running: make(map[string]*job),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.startWorkers()
+	return s
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Metrics exposes the counters (tests assert on them).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains the service: no new submissions are accepted, the
+// queue is closed, and the call blocks until every accepted job has
+// reached a terminal state. If ctx expires first, in-flight jobs are
+// canceled (they abort at their next router iteration boundary) and
+// the drain is still awaited before returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req api.SubmitRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+
+	// The netlist is the trust boundary: parse and validate before the
+	// submission is allowed to occupy a queue slot.
+	nl, err := netlist.Read(strings.NewReader(req.Netlist))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "netlist: %v", err)
+		return
+	}
+	if cells := nl.W * nl.H * nl.NumLayers; cells > s.cfg.MaxGridCells {
+		writeError(w, http.StatusUnprocessableEntity, "netlist: grid %dx%dx%d (%d cells) exceeds limit %d",
+			nl.W, nl.H, nl.NumLayers, cells, s.cfg.MaxGridCells)
+		return
+	}
+	if len(nl.Nets) > s.cfg.MaxNets {
+		writeError(w, http.StatusUnprocessableEntity, "netlist: %d nets exceed limit %d", len(nl.Nets), s.cfg.MaxNets)
+		return
+	}
+	key := cacheKey(req.Netlist, req.Spec)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	// Single-flight: an identical submission already queued or running
+	// is returned as-is instead of routing the same input twice.
+	if j, ok := s.running[key]; ok {
+		status := j.response().Status
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		s.metrics.Deduped.Add(1)
+		writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: j.id, Status: status, Deduped: true})
+		return
+	}
+	// Content-addressed cache: identical past submissions answer
+	// immediately with the stored (byte-identical) result.
+	if raw, ok := s.cache.Get(key); ok {
+		id := s.nextID(key)
+		j := newJob(id, key, nil, req.Spec)
+		j.finish(raw, true)
+		s.store.Add(j)
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		s.metrics.CacheHits.Add(1)
+		writeJSON(w, http.StatusOK, api.SubmitResponse{ID: id, Status: api.StatusDone, CacheHit: true})
+		return
+	}
+	id := s.nextID(key)
+	j := newJob(id, key, nl, req.Spec)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueSize)
+		return
+	}
+	s.running[key] = j
+	s.store.Add(j)
+	s.mu.Unlock()
+	s.metrics.Submitted.Add(1)
+	s.metrics.CacheMisses.Add(1)
+	s.logf("job %s queued: ckt=%s nets=%d grid=%dx%d", id, nl.Name, len(nl.Nets), nl.W, nl.H)
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Status: api.StatusQueued})
+}
+
+// nextID mints a job id: a monotonic sequence number plus a prefix of
+// the content address, so operators can eyeball which jobs were the
+// same input.
+func (s *Server) nextID(key string) string {
+	return fmt.Sprintf("j%06d-%s", s.seq.Add(1), key[:12])
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.response())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, Gauges{
+		QueueDepth: len(s.queue),
+		Inflight:   int(s.inflight.Load()),
+		CacheSize:  s.cache.Len(),
+		Draining:   draining,
+	})
+}

@@ -23,6 +23,7 @@
 package sadproute
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/coloring"
@@ -81,6 +82,15 @@ const (
 // non-nil if 100% routability or a violation-free state cannot be
 // reached.
 func Route(nl *netlist.Netlist, cfg Config) (*Result, error) {
+	return RouteContext(context.Background(), nl, cfg)
+}
+
+// RouteContext is Route bounded by a context: cancellation (or a
+// deadline) aborts the router cooperatively at its next iteration
+// boundary and the error then wraps ctx.Err(). Routing output is
+// unaffected for runs that complete — the cancel channel is only
+// polled, never used for scheduling.
+func RouteContext(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	rt, err := router.New(nl, router.Config{
 		Scheme:      coloring.Scheme{Type: cfg.SADP},
 		ConsiderDVI: cfg.ConsiderDVI,
@@ -88,11 +98,15 @@ func Route(nl *netlist.Netlist, cfg Config) (*Result, error) {
 		Params:      cfg.Params,
 		Seed:        cfg.Seed,
 		Workers:     cfg.Workers,
+		Cancel:      ctx.Done(),
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := rt.Run(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	return &Result{Router: rt, Grid: rt.Grid(), Stats: rt.Stats()}, nil
@@ -102,9 +116,30 @@ func Route(nl *netlist.Netlist, cfg Config) (*Result, error) {
 // the solution. timeLimit bounds the ILP (0 = 10 minutes); it is
 // ignored by the heuristic.
 func (r *Result) InsertDoubleVias(m Method, timeLimit time.Duration) (*dvi.Solution, error) {
+	return r.InsertDoubleViasContext(context.Background(), m, timeLimit)
+}
+
+// InsertDoubleViasContext is InsertDoubleVias with a context: a
+// deadline additionally caps the ILP time limit, and an
+// already-canceled context aborts before solving.
+func (r *Result) InsertDoubleViasContext(ctx context.Context, m Method, timeLimit time.Duration) (*dvi.Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	in := dvi.NewInstance(r.Grid, r.Router.Routes())
 	if m == Heuristic {
 		return in.SolveHeuristic(dvi.DefaultHeurParams()), nil
+	}
+	if timeLimit == 0 {
+		timeLimit = 10 * time.Minute
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeLimit {
+			timeLimit = rem
+		}
+		if timeLimit <= 0 {
+			timeLimit = time.Millisecond
+		}
 	}
 	return in.SolveILP(dvi.ILPOptions{TimeLimit: timeLimit})
 }
