@@ -4,8 +4,8 @@
 // Usage:
 //
 //	sadproute -in circuit.net [-sadp sim|sid] [-dvi] [-tpl]
-//	          [-method heur|ilp|none] [-ilptime 60s] [-check] [-json]
-//	          [-workers N] [-cpuprofile f] [-memprofile f]
+//	          [-method heur|ilp|none] [-ilptime 60s] [-check] [-verify]
+//	          [-json] [-workers N] [-cpuprofile f] [-memprofile f]
 //
 // It prints the metrics the paper's tables report: wirelength, via
 // count, routing CPU, dead via count (#DV) and uncolorable via count
@@ -44,6 +44,7 @@ func run() (code int) {
 	method := flag.String("method", "heur", "post-routing DVI: heur, ilp, or none")
 	ilpTime := flag.Duration("ilptime", time.Minute, "ILP time limit")
 	check := flag.Bool("check", false, "run the SADP mask decomposition DRC on the result")
+	doVerify := flag.Bool("verify", false, "re-check the result with the independent internal/verify checker; exit 1 on violations")
 	jsonOut := flag.Bool("json", false, "emit the service result schema (api.Result) as JSON instead of text")
 	seed := flag.Int64("seed", 0, "tie-breaking seed")
 	workers := flag.Int("workers", 1, "parallelism of independent router phases (identical output for any value)")
@@ -111,16 +112,14 @@ func run() (code int) {
 		ILPTimeLimit: *ilpTime,
 		Workers:      *workers,
 		Seed:         *seed,
+		Verify:       *doVerify,
 	}
 
 	row, art, err := bench.Run(nl, spec)
 	if err != nil {
 		return fail(err)
 	}
-	res := api.Result{Spec: spec, Row: row}
-	if art.Solution != nil {
-		res.InsertedVias = art.Solution.InsertedCount
-	}
+	res := api.ResultFrom(spec, row, art)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -136,6 +135,20 @@ func run() (code int) {
 			st.RRIterations, st.TPLRRIterations, st.FVPsResolved)
 		if art.Solution != nil {
 			fmt.Printf("DVI (%s): inserted %d  #DV %d  #UV %d\n", meth, res.InsertedVias, row.DV, row.UV)
+		}
+		if art.Verify != nil {
+			if art.Verify.Ok() {
+				fmt.Println("verify: ok")
+			} else {
+				fmt.Printf("verify: %d violation(s)\n", len(art.Verify.Violations))
+				for i, v := range art.Verify.Violations {
+					if i >= 10 {
+						fmt.Println("  ...")
+						break
+					}
+					fmt.Printf("  %v\n", v)
+				}
+			}
 		}
 	}
 
@@ -156,6 +169,10 @@ func run() (code int) {
 			fmt.Fprintf(os.Stderr, "sadproute: decomposition check: %d hard violations\n", len(hard))
 			return 1
 		}
+	}
+	if art.Verify != nil && !art.Verify.Ok() {
+		fmt.Fprintf(os.Stderr, "sadproute: verify: %d violation(s)\n", len(art.Verify.Violations))
+		return 1
 	}
 	return 0
 }

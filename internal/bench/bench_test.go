@@ -84,10 +84,16 @@ func TestRunAllMethods(t *testing.T) {
 	for _, m := range []DVIMethod{NoDVI, HeurDVI, ILPDVI} {
 		row, art, err := Run(nl, RunSpec{
 			Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
-			Method: m, ILPTimeLimit: time.Minute,
+			Method: m, ILPTimeLimit: time.Minute, Verify: true,
 		})
 		if err != nil {
 			t.Fatalf("method %d: %v", m, err)
+		}
+		if art.Verify == nil {
+			t.Fatalf("method %d: Verify set but no report attached", m)
+		}
+		if err := art.Verify.Err(); err != nil {
+			t.Errorf("method %d: independent verifier rejects the solution: %v", m, err)
 		}
 		if row.Routability != 1 {
 			t.Fatalf("method %d: routability %v", m, row.Routability)
@@ -171,7 +177,7 @@ func TestRunAllWorkerIndependence(t *testing.T) {
 	circuits := TinySuite()[:2]
 	spec := RunSpec{
 		Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
-		Method: HeurDVI,
+		Method: HeurDVI, Verify: true,
 	}
 	serial, err := RunAll(circuits, spec, 1)
 	if err != nil {

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_tiny.json from the current code")
+
+// goldenEntry pins every machine-independent metric of one tiny-suite
+// configuration. CPU timings are deliberately absent.
+type goldenEntry struct {
+	Circuit  string `json:"circuit"`
+	Scheme   string `json:"scheme"`
+	Method   string `json:"method"`
+	WL       int    `json:"wl"`
+	Vias     int    `json:"vias"`
+	DV       int    `json:"dv"`
+	UV       int    `json:"uv"`
+	Inserted int    `json:"inserted"`
+}
+
+// goldenILPNodeLimit makes the exact solve deterministic across
+// machines: branch-and-bound explores the same nodes in the same order
+// everywhere, so capping nodes (never wall clock) fixes the incumbent.
+const goldenILPNodeLimit = 50_000
+
+// TestGoldenTinySuite compares Table-style metrics for the tiny suite
+// across both SADP modes and both DVI methods against the checked-in
+// golden file, exactly. A perf or refactoring PR that claims
+// bit-identical results proves it by leaving this file untouched;
+// an intentional behavior change reruns with -update and reviews the
+// diff.
+func TestGoldenTinySuite(t *testing.T) {
+	type cfg struct {
+		ckt    Circuit
+		scheme coloring.SADPType
+		method DVIMethod
+	}
+	var cfgs []cfg
+	for _, ckt := range TinySuite() {
+		for _, scheme := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+			for _, method := range []DVIMethod{HeurDVI, ILPDVI} {
+				cfgs = append(cfgs, cfg{ckt, scheme, method})
+			}
+		}
+	}
+	got := make([]goldenEntry, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, c := range cfgs {
+		wg.Add(1)
+		go func(i int, c cfg) {
+			defer wg.Done()
+			spec := RunSpec{
+				Scheme: c.scheme, ConsiderDVI: true, ConsiderTPL: true,
+				Method: c.method, ILPTimeLimit: 10 * time.Minute,
+				ILPNodeLimit: goldenILPNodeLimit,
+				Verify:       true,
+			}
+			row, art, err := Run(Generate(c.ckt), spec)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%v/%v: %w", c.ckt.Name, c.scheme, c.method, err)
+				return
+			}
+			if verr := art.Verify.Err(); verr != nil {
+				errs[i] = fmt.Errorf("%s/%v/%v: verifier: %w", c.ckt.Name, c.scheme, c.method, verr)
+				return
+			}
+			got[i] = goldenEntry{
+				Circuit: c.ckt.Name, Scheme: c.scheme.String(), Method: c.method.String(),
+				WL: row.WL, Vias: row.Vias, DV: row.DV, UV: row.UV,
+				Inserted: art.Solution.InsertedCount,
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_tiny.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", path, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/bench -run TestGoldenTinySuite -update`): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, current run %d (rerun with -update after reviewing)", len(want), len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("metrics drifted for %s/%s/%s:\n  golden:  %+v\n  current: %+v",
+				got[i].Circuit, got[i].Scheme, got[i].Method, want[i], got[i])
+		}
+	}
+}

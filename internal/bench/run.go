@@ -12,6 +12,7 @@ import (
 	"repro/internal/dvi"
 	"repro/internal/netlist"
 	"repro/internal/router"
+	"repro/internal/verify"
 )
 
 // DVIMethod selects the post-routing TPL-aware DVI solver.
@@ -96,12 +97,21 @@ type RunSpec struct {
 	Method DVIMethod     `json:"method"`
 	// ILPTimeLimit bounds the exact solve (0 = 10 minutes).
 	ILPTimeLimit time.Duration `json:"ilp_time_limit,omitempty"`
+	// ILPNodeLimit caps branch-and-bound nodes per component (0 = no
+	// cap). Unlike the wall-clock limit it is deterministic: the same
+	// instance and limit yield the same solution on any machine, which
+	// is what the golden regression test pins down.
+	ILPNodeLimit int64 `json:"ilp_node_limit,omitempty"`
 	// Workers bounds the intra-router parallelism (router.Config
 	// Workers); routing output is identical for any value.
 	Workers int `json:"workers,omitempty"`
 	// Seed drives deterministic tie-breaking; unlike Workers it
 	// changes routing output.
 	Seed int64 `json:"seed,omitempty"`
+	// Verify re-checks the finished flow with the independent
+	// internal/verify checker; the report lands in Artifacts.Verify.
+	// Verification never alters Row, only the verdict.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // Row is one table line: the metrics the paper reports per circuit.
@@ -129,6 +139,9 @@ type Artifacts struct {
 	Router   *router.Router
 	Instance *dvi.Instance
 	Solution *dvi.Solution
+	// Verify is the independent checker's report when RunSpec.Verify
+	// was set (nil otherwise).
+	Verify *verify.Report
 }
 
 // Run routes the netlist under the spec and solves post-routing DVI.
@@ -172,6 +185,7 @@ func RunContext(ctx context.Context, nl *netlist.Netlist, spec RunSpec) (Row, *A
 	}
 	art := &Artifacts{Router: rt}
 	if spec.Method == NoDVI {
+		runVerify(nl, spec, art)
 		return row, art, nil
 	}
 
@@ -198,7 +212,7 @@ func RunContext(ctx context.Context, nl *netlist.Netlist, spec RunSpec) (Row, *A
 				limit = time.Millisecond // expired between checks: fail fast, not unbounded
 			}
 		}
-		sol, err = in.SolveILP(dvi.ILPOptions{TimeLimit: limit})
+		sol, err = in.SolveILP(dvi.ILPOptions{TimeLimit: limit, NodeLimit: spec.ILPNodeLimit})
 		if err != nil {
 			return Row{}, nil, fmt.Errorf("bench: ILP DVI on %s: %w", nl.Name, err)
 		}
@@ -214,7 +228,23 @@ func RunContext(ctx context.Context, nl *netlist.Netlist, spec RunSpec) (Row, *A
 	art.Solution = sol
 	row.DV = sol.DeadVias
 	row.UV = sol.Uncolorable
+	runVerify(nl, spec, art)
 	return row, art, nil
+}
+
+// runVerify attaches the independent checker's report to the
+// artifacts when the spec requests verification. Violations do not
+// fail the run: callers decide whether a bad verdict is fatal (the
+// CLI exits non-zero, the service reports it in the job result, the
+// tests assert a clean report).
+func runVerify(nl *netlist.Netlist, spec RunSpec, art *Artifacts) {
+	if !spec.Verify {
+		return
+	}
+	art.Verify = verify.Solution(nl, art.Router.Routes(), art.Instance, art.Solution, verify.Options{
+		SADP:     spec.Scheme,
+		CheckTPL: spec.ConsiderTPL,
+	})
 }
 
 // RunAll generates and runs every circuit under the spec, routing up

@@ -34,6 +34,40 @@ type Result struct {
 	// InsertedVias counts redundant vias inserted by post-routing DVI
 	// (0 when Spec.Method is "none").
 	InsertedVias int `json:"inserted_vias"`
+	// Verify is the independent checker's verdict, present when the
+	// spec set "verify": true.
+	Verify *VerifyReport `json:"verify,omitempty"`
+}
+
+// VerifyReport is the wire form of internal/verify's report: the
+// verdict plus each violation spelled out.
+type VerifyReport struct {
+	Ok         bool     `json:"ok"`
+	Violations []string `json:"violations,omitempty"`
+	// Truncated is true when violations beyond the checker's cap were
+	// dropped from the list.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// ResultFrom wraps a finished bench run into the wire schema, shared
+// by the CLI's -json output and the service's defaultRun so both emit
+// byte-identical results for the same flow.
+func ResultFrom(spec bench.RunSpec, row bench.Row, art *bench.Artifacts) Result {
+	res := Result{Spec: spec, Row: row}
+	if art == nil {
+		return res
+	}
+	if art.Solution != nil {
+		res.InsertedVias = art.Solution.InsertedCount
+	}
+	if art.Verify != nil {
+		vr := &VerifyReport{Ok: art.Verify.Ok(), Truncated: art.Verify.Truncated}
+		for _, v := range art.Verify.Violations {
+			vr.Violations = append(vr.Violations, v.String())
+		}
+		res.Verify = vr
+	}
+	return res
 }
 
 // JobStatus is the lifecycle of a submitted job.

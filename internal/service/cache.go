@@ -80,8 +80,9 @@ func (c *resultCache) Len() int {
 //   - Workers is dropped (routing output is worker-count invariant,
 //     the PR 1 determinism guarantee);
 //   - a zero Params block becomes the Table II defaults;
-//   - ILPTimeLimit is dropped unless the method is the ILP (and its
-//     zero value becomes the documented 10-minute default).
+//   - ILPTimeLimit and ILPNodeLimit are dropped unless the method is
+//     the ILP (and a zero time limit becomes the documented 10-minute
+//     default).
 func cacheKey(netlistText string, spec bench.RunSpec) string {
 	norm := spec
 	norm.Workers = 0
@@ -90,6 +91,7 @@ func cacheKey(netlistText string, spec bench.RunSpec) string {
 	}
 	if norm.Method != bench.ILPDVI {
 		norm.ILPTimeLimit = 0
+		norm.ILPNodeLimit = 0
 	} else if norm.ILPTimeLimit == 0 {
 		norm.ILPTimeLimit = 10 * time.Minute
 	}

@@ -98,11 +98,7 @@ func defaultRun(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (a
 	if err != nil {
 		return api.Result{}, err
 	}
-	res := api.Result{Spec: spec, Row: row}
-	if art != nil && art.Solution != nil {
-		res.InsertedVias = art.Solution.InsertedCount
-	}
-	return res, nil
+	return api.ResultFrom(spec, row, art), nil
 }
 
 // Server is the routing service. Create with New, mount Handler() on

@@ -144,6 +144,51 @@ func TestEndToEndCacheHit(t *testing.T) {
 	}
 }
 
+// A job submitted with "verify": true runs the real flow and reports
+// the independent checker's verdict in the result; the same submission
+// without verification is a distinct cache entry carrying no report.
+func TestPerJobVerify(t *testing.T) {
+	raw, err := os.ReadFile("../../examples/tiny.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, QueueSize: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := bench.RunSpec{Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true, Method: bench.HeurDVI}
+	code, plain, _ := doSubmit(t, ts, string(raw), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("plain submit: status %d", code)
+	}
+	jr := pollDone(t, ts, plain.ID)
+	res, err := jr.DecodeResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify != nil {
+		t.Fatalf("verify report present without verify option: %+v", res.Verify)
+	}
+
+	spec.Verify = true
+	code, verified, _ := doSubmit(t, ts, string(raw), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("verify submit: status %d (the verify spec must miss the cache)", code)
+	}
+	jr = pollDone(t, ts, verified.ID)
+	res, err = jr.DecodeResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify == nil {
+		t.Fatal("verify option set but result has no verify report")
+	}
+	if !res.Verify.Ok || len(res.Verify.Violations) != 0 {
+		t.Fatalf("verifier rejects the service's own solution: %+v", res.Verify)
+	}
+}
+
 // A queue sized N rejects submission N+1 with 429 and a Retry-After
 // header while the worker is busy.
 func TestQueueFullRejectsWith429(t *testing.T) {

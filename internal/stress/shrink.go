@@ -1,0 +1,70 @@
+package stress
+
+import "repro/internal/netlist"
+
+// shrinkNetlist reduces a failing netlist to a locally minimal one
+// with the ddmin strategy over nets: repeatedly try dropping chunks of
+// nets (halving the chunk size when stuck) while the failing predicate
+// keeps holding. budget caps predicate invocations — each one re-runs
+// the routing pipeline. The result still fails the predicate.
+func shrinkNetlist(nl *netlist.Netlist, failing func(*netlist.Netlist) bool, budget int) *netlist.Netlist {
+	cur := nl
+	calls := 0
+	try := func(cand *netlist.Netlist) bool {
+		if calls >= budget {
+			return false
+		}
+		calls++
+		return failing(cand)
+	}
+	chunk := (len(cur.Nets) + 1) / 2
+	for chunk >= 1 && calls < budget {
+		reduced := false
+		for start := 0; start < len(cur.Nets); {
+			if len(cur.Nets) <= 1 {
+				return cur
+			}
+			end := min(start+chunk, len(cur.Nets))
+			if end-start >= len(cur.Nets) {
+				break // dropping every net is never a reproducer; lower the granularity
+			}
+			cand := withoutNets(cur, start, end)
+			if try(cand) {
+				cur = cand // chunk was irrelevant; keep position, nets shifted down
+				reduced = true
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 && !reduced {
+			break // 1-minimal: no single net can be dropped
+		}
+		if !reduced {
+			chunk /= 2
+		} else if chunk > len(cur.Nets) {
+			chunk = (len(cur.Nets) + 1) / 2
+		}
+	}
+	return cur
+}
+
+// withoutNets copies nl minus the net index range [from, to),
+// renumbering IDs so the result validates.
+func withoutNets(nl *netlist.Netlist, from, to int) *netlist.Netlist {
+	out := &netlist.Netlist{Name: nl.Name, W: nl.W, H: nl.H, NumLayers: nl.NumLayers}
+	for i, n := range nl.Nets {
+		if i >= from && i < to {
+			continue
+		}
+		c := &netlist.Net{ID: len(out.Nets), Name: n.Name, Pins: n.Pins}
+		out.Nets = append(out.Nets, c)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

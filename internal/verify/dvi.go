@@ -1,0 +1,220 @@
+package verify
+
+import (
+	"repro/internal/dvi"
+	"repro/internal/geom"
+)
+
+// Independent validation of a DVI assignment against the paper's
+// constraints C1–C8 (§III-E): at most one redundant via per single via
+// at a candidate the verifier's own feasibility re-check accepts (C1,
+// the §II-C feasibility rules), no two insertions on one site and no
+// insertion on an existing via (C2), every via exactly one color or
+// counted uncolorable (C3, C4), no same-color pair within the
+// same-color via pitch on a layer (C5–C7), and reported statistics
+// matching a recount (the C8 objective accounting).
+
+// checkDVI verifies the solution sol of instance in against the
+// checker's independently reconstructed solution geometry.
+func (c *checker) checkDVI(in *dvi.Instance, sol *dvi.Solution) {
+	n := len(in.Vias)
+	if len(sol.Inserted) != n || len(sol.Colors) != n || len(sol.RedColors) != n || len(in.Feas) != n {
+		c.rep.add(DVIStatsMismatch, -1, geom.Pt3{},
+			"solution arrays sized %d/%d/%d (feas %d) for %d vias",
+			len(sol.Inserted), len(sol.Colors), len(sol.RedColors), len(in.Feas), n)
+		return
+	}
+
+	c.checkInstanceVias(in)
+
+	type site struct {
+		vl int
+		p  geom.Pt
+	}
+	// Original vias occupy their sites; insertions must not collide
+	// with them or with each other.
+	occupied := map[site][]int{} // site → instance via indices (originals: i, insertions: i)
+	for i, v := range in.Vias {
+		occupied[site{v.Layer(), v.Pos()}] = append(occupied[site{v.Layer(), v.Pos()}], i)
+	}
+
+	type colored struct {
+		vl    int
+		p     geom.Pt
+		color int8
+	}
+	var all []colored
+	inserted, dead, unc := 0, 0, 0
+
+	for i := 0; i < n; i++ {
+		v := in.Vias[i]
+		j := sol.Inserted[i]
+		if j < -1 || j >= len(in.Feas[i]) {
+			c.rep.add(DVIBadIndex, v.Net, v.Base, "insertion index %d out of range of %d candidates", j, len(in.Feas[i]))
+			continue
+		}
+		col := sol.Colors[i]
+		switch {
+		case col == -1:
+			unc++
+		case col < 0 || col >= 3:
+			c.rep.add(DVIBadColor, v.Net, v.Base, "via color %d out of range", col)
+		default:
+			all = append(all, colored{v.Layer(), v.Pos(), col})
+		}
+		if j < 0 {
+			dead++
+			continue
+		}
+		inserted++
+		cand := in.Feas[i][j]
+		if v.Pos().ManhattanDist(cand) != 1 {
+			c.rep.add(DVIInfeasible, v.Net, v.Base, "candidate %v is not adjacent to the via", cand)
+			continue
+		}
+		st := site{v.Layer(), cand}
+		if len(occupied[st]) > 0 {
+			c.rep.add(DVICollision, v.Net, geom.XYL(cand.X, cand.Y, v.Layer()),
+				"redundant via collides with via(s) %v at %v", occupied[st], cand)
+		}
+		occupied[st] = append(occupied[st], i)
+		c.checkInsertionFeasible(v, cand)
+		rc := sol.RedColors[i]
+		if rc < 0 || rc >= 3 {
+			c.rep.add(DVIBadColor, v.Net, geom.XYL(cand.X, cand.Y, v.Layer()),
+				"inserted redundant via has color %d (want 0..2)", rc)
+		} else {
+			all = append(all, colored{v.Layer(), cand, rc})
+		}
+	}
+
+	// Pairwise coloring legality per via layer.
+	byLayer := map[int]map[geom.Pt][]int8{}
+	for _, cc := range all {
+		if byLayer[cc.vl] == nil {
+			byLayer[cc.vl] = map[geom.Pt][]int8{}
+		}
+		byLayer[cc.vl][cc.p] = append(byLayer[cc.vl][cc.p], cc.color)
+	}
+	for vl, pos := range byLayer {
+		for p, cols := range pos {
+			for _, col := range cols {
+				for _, off := range conflictOffsets {
+					q := p.Add(off.X, off.Y)
+					// Report each conflicting pair once, from its
+					// lexicographically smaller endpoint.
+					if q.Y < p.Y || (q.Y == p.Y && q.X < p.X) {
+						continue
+					}
+					for _, oc := range byLayer[vl][q] {
+						if oc == col {
+							c.rep.add(DVIColorConflict, -1, geom.XYL(p.X, p.Y, vl),
+								"vias at %v and %v share color %d within pitch (via layer %d)", p, q, col, vl)
+						}
+					}
+				}
+				// Two vias stacked on one site (a collision, reported
+				// above) also always conflict in color space; skip.
+			}
+		}
+	}
+
+	if sol.InsertedCount != inserted || sol.DeadVias != dead || sol.Uncolorable != unc {
+		c.rep.add(DVIStatsMismatch, -1, geom.Pt3{},
+			"reported inserted/dead/uncolorable %d/%d/%d, recounted %d/%d/%d",
+			sol.InsertedCount, sol.DeadVias, sol.Uncolorable, inserted, dead, unc)
+	}
+}
+
+// checkInstanceVias cross-checks the DVI instance's via list against
+// the vias the verifier extracted from the routed geometry itself.
+func (c *checker) checkInstanceVias(in *dvi.Instance) {
+	mine := 0
+	for i := range c.nets {
+		mine += len(c.nets[i].vias)
+	}
+	if mine != len(in.Vias) {
+		c.rep.add(DVIViaMismatch, -1, geom.Pt3{},
+			"instance lists %d vias, routed solution has %d", len(in.Vias), mine)
+	}
+	seen := map[dvi.Via]bool{}
+	for _, v := range in.Vias {
+		if seen[v] {
+			c.rep.add(DVIViaMismatch, v.Net, v.Base, "via listed twice in the instance")
+			continue
+		}
+		seen[v] = true
+		if v.Net < 0 || int(v.Net) >= len(c.nets) {
+			c.rep.add(DVIViaMismatch, v.Net, v.Base, "via owned by unknown net")
+			continue
+		}
+		if !c.nets[v.Net].vias[v.Base] {
+			c.rep.add(DVIViaMismatch, v.Net, v.Base, "instance via not present in the routed solution")
+		}
+	}
+}
+
+// checkInsertionFeasible re-derives the §II-C DVIC feasibility of an
+// accepted insertion: the candidate must be on the grid, its metal
+// points on both connected layers free of other nets, and the one-unit
+// metal extensions toward it must not form a forbidden turn with the
+// owning net's existing arms (modulo the Fig 6(a) one-unit-extension
+// exception).
+func (c *checker) checkInsertionFeasible(v dvi.Via, cand geom.Pt) {
+	at := geom.XYL(cand.X, cand.Y, v.Layer())
+	if cand.X < 0 || cand.X >= c.nl.W || cand.Y < 0 || cand.Y >= c.nl.H {
+		c.rep.add(DVIInfeasible, v.Net, at, "candidate %v outside the grid", cand)
+		return
+	}
+	if v.Net < 0 || int(v.Net) >= len(c.nets) || !c.nets[v.Net].valid {
+		return // geometry already reported
+	}
+	dx, dy := cand.X-v.Base.X, cand.Y-v.Base.Y
+	var stubArm uint8
+	switch {
+	case dx == 1:
+		stubArm = armE
+	case dx == -1:
+		stubArm = armW
+	case dy == 1:
+		stubArm = armN
+	default:
+		stubArm = armS
+	}
+	stubVertical := dy != 0
+
+	for _, l := range [2]int{v.Base.Layer, v.Base.Layer + 1} {
+		mp := geom.XYL(cand.X, cand.Y, l)
+		for _, owner := range c.metalOwner[mp] {
+			if owner != v.Net {
+				c.rep.add(DVIInfeasible, v.Net, at,
+					"candidate metal point %v occupied by net %d", mp, owner)
+			}
+		}
+		arms := c.nets[v.Net].arms[geom.XYL(v.Base.X, v.Base.Y, l)]
+		if arms&stubArm != 0 {
+			continue // metal already runs toward the candidate
+		}
+		// The extension adds a one-unit stub; pairing it with each
+		// existing perpendicular arm forms an L whose legality the
+		// coloring must allow.
+		perp := arms & (armN | armS)
+		if stubVertical {
+			perp = arms & (armE | armW)
+		}
+		for _, bit := range [4]uint8{armE, armW, armN, armS} {
+			if perp&bit == 0 {
+				continue
+			}
+			h, vv := stubArm, bit
+			if stubVertical {
+				h, vv = bit, stubArm
+			}
+			if forbiddenL(c.opt.SADP, geom.XY(v.Base.X, v.Base.Y), h, vv) &&
+				!stubExtensionOK(c.opt.SADP, stubVertical) {
+				c.rep.add(DVIInfeasible, v.Net, at,
+					"metal extension on layer %d forms a forbidden turn at %v", l, v.Base.Pt2())
+			}
+		}
+	}
+}

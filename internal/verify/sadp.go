@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/geom"
+)
+
+// Independent re-derivation of the SADP turn rules (paper §II-B,
+// Fig 4). The pre-colored grid alternates mandrel geometry with each
+// track in both axes, so the unique preferred corner orientation at a
+// point depends only on its coordinate parities:
+//
+//   - SIM: the preferred corner's vertical arm points North on even-y
+//     points and South on odd-y points; its horizontal arm points East
+//     on even-x points and West on odd-x points.
+//   - SID: the mandrels align to tracks instead of panels, shifting
+//     the pattern one track diagonally — both arms flip.
+//
+// The diagonally opposite corner is non-preferred (decomposable with
+// degradation); the two corners sharing exactly one arm with the
+// preferred one are forbidden. This file encodes that rule as a
+// formula over arm-direction matches, deliberately not reusing
+// coloring.Scheme's table lookup: the two implementations agree only
+// if both encode the paper's rule correctly.
+
+// prefArms returns the preferred corner's arm directions at p:
+// whether its vertical arm points north and its horizontal arm east.
+func prefArms(mode coloring.SADPType, p geom.Pt) (north, east bool) {
+	north = p.Y%2 == 0
+	east = p.X%2 == 0
+	if mode == coloring.SID {
+		north, east = !north, !east
+	}
+	return north, east
+}
+
+// forbiddenL reports whether the L-turn at p with horizontal arm bit h
+// (armE or armW) and vertical arm bit v (armN or armS) is forbidden in
+// the given mode: exactly one of its arms matches the preferred
+// corner's.
+func forbiddenL(mode coloring.SADPType, p geom.Pt, h, v uint8) bool {
+	prefNorth, prefEast := prefArms(mode, p)
+	vertMatch := (v == armN) == prefNorth
+	horizMatch := (h == armE) == prefEast
+	return vertMatch != horizMatch
+}
+
+// stubExtensionOK reports whether a forbidden L formed by extending
+// the metal at p one unit in the stub direction is nevertheless
+// decomposable under the one-unit-extension exception (Fig 6(a)): the
+// cut (SIM) or trim (SID) mask can resolve a single-unit stub running
+// in the layer's non-preferred routing direction — vertical stubs for
+// SIM, horizontal for SID.
+func stubExtensionOK(mode coloring.SADPType, stubVertical bool) bool {
+	if mode == coloring.SIM {
+		return stubVertical
+	}
+	return !stubVertical
+}

@@ -1,0 +1,314 @@
+package verify
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Independent via-manufacturability checks. The same-color via pitch
+// of the TPL conflict model (§II-D) is re-stated here from the spec:
+// two distinct vias whose squared center distance is at most 5 cannot
+// share a mask color. FVP-ness of a 3×3 window is decided by
+// brute-force 3-coloring of the window's conflict graph — not the
+// paper's O(1) corner rules that tpl.Window implements — so the two
+// can only agree by both being right.
+
+const sameColorSqPitch = 5
+
+// conflictOffsets enumerates every nonzero (dx, dy) within the pitch.
+var conflictOffsets = func() []geom.Pt {
+	var offs []geom.Pt
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if dx*dx+dy*dy <= sameColorSqPitch {
+				offs = append(offs, geom.XY(dx, dy))
+			}
+		}
+	}
+	return offs
+}()
+
+func inConflict(a, b geom.Pt) bool {
+	if a == b {
+		return false
+	}
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx+dy*dy <= sameColorSqPitch
+}
+
+// windowColorable memoizes 3-colorability of each of the 512 possible
+// 3×3 via patterns: 0 = unknown, 1 = colorable, 2 = not.
+var windowColorable [512]uint8
+
+// patternColorable3 decides by exhaustive backtracking whether the
+// 3×3 pattern (bit x+3*y set = via at offset (x, y)) admits a proper
+// 3-coloring under the pitch conflict model.
+func patternColorable3(mask uint16) bool {
+	switch windowColorable[mask] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	var pts []geom.Pt
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if mask&(1<<(x+3*y)) != 0 {
+				pts = append(pts, geom.XY(x, y))
+			}
+		}
+	}
+	colors := make([]int, len(pts))
+	var solve func(i int) bool
+	solve = func(i int) bool {
+		if i == len(pts) {
+			return true
+		}
+		for col := 1; col <= 3; col++ {
+			ok := true
+			for j := 0; j < i; j++ {
+				if colors[j] == col && inConflict(pts[i], pts[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[i] = col
+				if solve(i + 1) {
+					return true
+				}
+				colors[i] = 0
+			}
+		}
+		return false
+	}
+	ok := solve(0)
+	if ok {
+		windowColorable[mask] = 1
+	} else {
+		windowColorable[mask] = 2
+	}
+	return ok
+}
+
+// viaLayerSites reconstructs the occupied via sites of each via layer
+// from the verifier's own via ownership map, in row-major order.
+func (c *checker) viaLayerSites() [][]geom.Pt {
+	layers := make([][]geom.Pt, c.nl.NumLayers-1)
+	for v := range c.viaOwner {
+		if v.Layer >= 0 && v.Layer < len(layers) {
+			layers[v.Layer] = append(layers[v.Layer], v.Pt2())
+		}
+	}
+	for _, sites := range layers {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Y != sites[j].Y {
+				return sites[i].Y < sites[j].Y
+			}
+			return sites[i].X < sites[j].X
+		})
+	}
+	return layers
+}
+
+// checkViaLayers runs the manufacturability checks on every via layer:
+// no 3×3 window is an FVP, and the layer's full decomposition graph is
+// 3-colorable.
+func (c *checker) checkViaLayers() {
+	for vl, sites := range c.viaLayerSites() {
+		c.checkFVPs(vl, sites)
+		c.checkLayerColorable(vl, sites)
+	}
+}
+
+// checkFVPs scans every 3×3 window that contains at least one via of
+// the layer (each window checked once) for forbidden via patterns.
+func (c *checker) checkFVPs(vl int, sites []geom.Pt) {
+	occupied := make(map[geom.Pt]bool, len(sites))
+	for _, s := range sites {
+		occupied[s] = true
+	}
+	seen := map[geom.Pt]bool{}
+	for _, s := range sites {
+		for dy := -2; dy <= 0; dy++ {
+			for dx := -2; dx <= 0; dx++ {
+				o := geom.XY(s.X+dx, s.Y+dy)
+				if seen[o] {
+					continue
+				}
+				seen[o] = true
+				var mask uint16
+				n := 0
+				for wy := 0; wy < 3; wy++ {
+					for wx := 0; wx < 3; wx++ {
+						if occupied[geom.XY(o.X+wx, o.Y+wy)] {
+							mask |= 1 << (wx + 3*wy)
+							n++
+						}
+					}
+				}
+				if n >= 4 && !patternColorable3(mask) {
+					c.rep.add(FVP, -1, geom.XYL(o.X, o.Y, vl),
+						"3x3 window with %d vias is a forbidden via pattern (via layer %d)", n, vl)
+				}
+			}
+		}
+	}
+}
+
+// checkLayerColorable verifies that the layer's full decomposition
+// graph (one vertex per via, an edge per within-pitch pair) is
+// 3-colorable: greedy coloring in descending-degree order first, exact
+// backtracking on the failing components as the fallback, so a greedy
+// artifact is never reported as a real violation.
+func (c *checker) checkLayerColorable(vl int, sites []geom.Pt) {
+	n := len(sites)
+	if n == 0 {
+		return
+	}
+	index := make(map[geom.Pt]int, n)
+	for i, s := range sites {
+		index[s] = i
+	}
+	adj := make([][]int, n)
+	for i, s := range sites {
+		for _, off := range conflictOffsets {
+			if j, ok := index[s.Add(off.X, off.Y)]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(adj[order[a]]) > len(adj[order[b]])
+	})
+	colors := make([]int, n) // 0 = unassigned, 1..3 = colors
+	var failed []int
+	for _, v := range order {
+		var used [4]bool
+		for _, u := range adj[v] {
+			used[colors[u]] = true
+		}
+		for col := 1; col <= 3; col++ {
+			if !used[col] {
+				colors[v] = col
+				break
+			}
+		}
+		if colors[v] == 0 {
+			failed = append(failed, v)
+		}
+	}
+	if len(failed) == 0 {
+		return
+	}
+
+	// Greedy failed: decide the failing components exactly.
+	comp := components(adj)
+	reported := map[int]bool{}
+	for _, v := range failed {
+		cid := comp.id[v]
+		if reported[cid] {
+			continue
+		}
+		reported[cid] = true
+		ok, exact := colorableExact(adj, comp.members[cid], 3, c.opt.ColorBudget)
+		at := geom.XYL(sites[v].X, sites[v].Y, vl)
+		switch {
+		case !exact:
+			c.rep.add(VerifierLimit, -1, at,
+				"colorability of %d-via component undecided within budget (via layer %d)",
+				len(comp.members[cid]), vl)
+		case !ok:
+			c.rep.add(NotThreeColorable, -1, at,
+				"decomposition graph component of %d vias is not 3-colorable (via layer %d)",
+				len(comp.members[cid]), vl)
+		}
+	}
+}
+
+type componentSet struct {
+	id      []int
+	members [][]int
+}
+
+// components labels connected components of an adjacency list.
+func components(adj [][]int) componentSet {
+	n := len(adj)
+	cs := componentSet{id: make([]int, n)}
+	for i := range cs.id {
+		cs.id[i] = -1
+	}
+	var stack []int
+	for s := 0; s < n; s++ {
+		if cs.id[s] >= 0 {
+			continue
+		}
+		cid := len(cs.members)
+		var mem []int
+		stack = append(stack[:0], s)
+		cs.id[s] = cid
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			mem = append(mem, v)
+			for _, u := range adj[v] {
+				if cs.id[u] < 0 {
+					cs.id[u] = cid
+					stack = append(stack, u)
+				}
+			}
+		}
+		cs.members = append(cs.members, mem)
+	}
+	return cs
+}
+
+// colorableExact decides k-colorability of one component by
+// backtracking with a step budget. exact=false means the budget ran
+// out before a decision.
+func colorableExact(adj [][]int, comp []int, k, budget int) (ok, exact bool) {
+	colors := map[int]int{}
+	steps := 0
+	var solve func(i int) (bool, bool)
+	solve = func(i int) (bool, bool) {
+		if i == len(comp) {
+			return true, true
+		}
+		steps++
+		if steps > budget {
+			return false, false
+		}
+		v := comp[i]
+		for col := 1; col <= k; col++ {
+			good := true
+			for _, u := range adj[v] {
+				if colors[u] == col {
+					good = false
+					break
+				}
+			}
+			if good {
+				colors[v] = col
+				done, ex := solve(i + 1)
+				if done {
+					return true, true
+				}
+				delete(colors, v)
+				if !ex {
+					return false, false
+				}
+			}
+		}
+		return false, true
+	}
+	return solve(0)
+}

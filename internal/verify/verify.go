@@ -1,0 +1,583 @@
+// Package verify is an independent checker for routed solutions of the
+// SADP-aware detailed routing flow. It re-validates, from scratch and
+// with no code shared with the producing algorithms (the router's
+// search and turn tables, the TPL R&R phase, tpl.Window's O(1) FVP
+// rules, the DVI heuristic and ILP), that a solution is actually legal:
+//
+//  1. Geometry: every path step is a unit grid step, every point is on
+//     the grid, every net covers all of its pins in a single connected
+//     component, no two nets share a metal point or via site, and no
+//     route crosses another net's pin terminal.
+//  2. SADP color rules: every L-shaped turn (a point with exactly two
+//     perpendicular metal arms) is classified against a re-derived
+//     parity formula for the chosen SIM/SID mode and must not be
+//     forbidden.
+//  3. Via manufacturability (when the flow considered TPL): no 3×3 via
+//     window is a forbidden via pattern — decided here by brute-force
+//     3-coloring of the window's conflict graph, not the paper's O(1)
+//     rules — and each via layer's full decomposition graph is
+//     3-colorable (independent greedy coloring with an exact
+//     backtracking fallback).
+//  4. DVI: every inserted redundant via sits at a candidate that the
+//     verifier's own feasibility re-check accepts, no two vias collide,
+//     the TPL coloring of originals plus insertions is proper, and the
+//     solution's reported statistics match a recount (constraints
+//     C1–C8 of §III-E).
+//
+// The checker consumes only solution data (netlist, route polylines,
+// DVI assignment) and deliberately rebuilds occupancy, arm masks, via
+// sets and conflict graphs itself, so a bookkeeping bug in the
+// producers cannot hide from it.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coloring"
+	"repro/internal/dvi"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+)
+
+// Kind classifies a violation.
+type Kind uint8
+
+const (
+	// BadStep: consecutive path points are not one grid step apart.
+	BadStep Kind = iota
+	// OffGrid: a path point lies outside the W×H×layers grid.
+	OffGrid
+	// Unrouted: a net has no route geometry at all.
+	Unrouted
+	// PinMissing: a net's route does not cover one of its pins.
+	PinMissing
+	// Disconnected: a net's metal is not a single connected component.
+	Disconnected
+	// MetalShort: two distinct nets occupy the same metal point.
+	MetalShort
+	// ViaShort: two distinct nets place a via on the same site.
+	ViaShort
+	// PinObstruction: a route covers another net's pin terminal.
+	PinObstruction
+	// ForbiddenTurn: an L-shaped turn is forbidden under the SADP
+	// color rules of the chosen mode.
+	ForbiddenTurn
+	// FVP: a 3×3 via window is a forbidden via pattern (its conflict
+	// graph is not 3-colorable).
+	FVP
+	// NotThreeColorable: a via layer's full decomposition graph is not
+	// 3-colorable.
+	NotThreeColorable
+	// VerifierLimit: the exact colorability check exceeded its budget;
+	// the solution could not be proven clean (conservative failure).
+	VerifierLimit
+	// DVIViaMismatch: the DVI instance's via list does not match the
+	// vias of the routed solution.
+	DVIViaMismatch
+	// DVIBadIndex: an insertion index is out of range of the via's
+	// candidate list.
+	DVIBadIndex
+	// DVIInfeasible: an inserted redundant via fails the verifier's
+	// independent feasibility re-check (occupancy or turn legality).
+	DVIInfeasible
+	// DVICollision: two inserted redundant vias share a site, or an
+	// insertion lands on an existing via.
+	DVICollision
+	// DVIBadColor: a via color is out of range, or an inserted
+	// redundant via has no color.
+	DVIBadColor
+	// DVIColorConflict: two same-colored vias lie within the
+	// same-color via pitch on one via layer.
+	DVIColorConflict
+	// DVIStatsMismatch: the solution's reported counters disagree with
+	// a recount of the assignment.
+	DVIStatsMismatch
+)
+
+var kindNames = [...]string{
+	BadStep:           "bad-step",
+	OffGrid:           "off-grid",
+	Unrouted:          "unrouted",
+	PinMissing:        "pin-missing",
+	Disconnected:      "disconnected",
+	MetalShort:        "metal-short",
+	ViaShort:          "via-short",
+	PinObstruction:    "pin-obstruction",
+	ForbiddenTurn:     "forbidden-turn",
+	FVP:               "fvp",
+	NotThreeColorable: "not-3-colorable",
+	VerifierLimit:     "verifier-limit",
+	DVIViaMismatch:    "dvi-via-mismatch",
+	DVIBadIndex:       "dvi-bad-index",
+	DVIInfeasible:     "dvi-infeasible",
+	DVICollision:      "dvi-collision",
+	DVIBadColor:       "dvi-bad-color",
+	DVIColorConflict:  "dvi-color-conflict",
+	DVIStatsMismatch:  "dvi-stats-mismatch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Violation is one detected rule breach.
+type Violation struct {
+	Kind Kind
+	// Net is the primary offending net, or -1 when not net-specific.
+	Net int32
+	// At is a representative location: a metal point for geometry and
+	// turn violations, a via site (Layer = via layer) for via-related
+	// ones.
+	At  geom.Pt3
+	Msg string
+}
+
+func (v Violation) String() string {
+	if v.Net >= 0 {
+		return fmt.Sprintf("%s net %d at %v: %s", v.Kind, v.Net, v.At, v.Msg)
+	}
+	return fmt.Sprintf("%s at %v: %s", v.Kind, v.At, v.Msg)
+}
+
+// Report collects the violations of one verification run.
+type Report struct {
+	Violations []Violation
+	// Truncated is true when violations beyond Options.MaxViolations
+	// were dropped.
+	Truncated bool
+
+	max int
+}
+
+// Ok reports whether the solution passed every check.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && !r.Truncated }
+
+// Count returns the number of recorded violations of the given kind.
+func (r *Report) Count(k Kind) int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether any violation of the given kind was recorded.
+func (r *Report) Has(k Kind) bool { return r.Count(k) > 0 }
+
+// Err returns nil for a clean report, or an error summarizing the
+// violations (first few spelled out).
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: %d violation(s)", len(r.Violations))
+	if r.Truncated {
+		b.WriteString(" (truncated)")
+	}
+	for i, v := range r.Violations {
+		if i >= 5 {
+			fmt.Fprintf(&b, "; ... %d more", len(r.Violations)-i)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func (r *Report) add(k Kind, net int32, at geom.Pt3, format string, args ...interface{}) {
+	if len(r.Violations) >= r.max {
+		r.Truncated = true
+		return
+	}
+	r.Violations = append(r.Violations, Violation{Kind: k, Net: net, At: at, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Options configure a verification run.
+type Options struct {
+	// SADP is the process mode the solution was routed for.
+	SADP coloring.SADPType
+	// CheckTPL enables the via-manufacturability checks (FVP-freedom
+	// and 3-colorability). Only solutions routed with TPL
+	// consideration guarantee these; leave false otherwise.
+	CheckTPL bool
+	// MaxViolations caps the report (default 100).
+	MaxViolations int
+	// ColorBudget bounds the exact per-component colorability fallback
+	// in backtracking steps (default 2,000,000).
+	ColorBudget int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = 100
+	}
+	if o.ColorBudget <= 0 {
+		o.ColorBudget = 2_000_000
+	}
+	return o
+}
+
+// Routing verifies a routed (pre-DVI) solution: geometry, SADP turn
+// legality and — when opt.CheckTPL — via-layer manufacturability.
+// routes is indexed by net ID; nil or empty entries are reported as
+// unrouted nets.
+func Routing(nl *netlist.Netlist, routes []*grid.Route, opt Options) *Report {
+	c := newChecker(nl, routes, opt)
+	c.checkGeometry()
+	c.checkTurns()
+	if c.opt.CheckTPL {
+		c.checkViaLayers()
+	}
+	return c.rep
+}
+
+// Solution verifies the full flow output: the routing checks plus the
+// DVI assignment when in and sol are non-nil.
+func Solution(nl *netlist.Netlist, routes []*grid.Route, in *dvi.Instance, sol *dvi.Solution, opt Options) *Report {
+	c := newChecker(nl, routes, opt)
+	c.checkGeometry()
+	c.checkTurns()
+	if c.opt.CheckTPL {
+		c.checkViaLayers()
+	}
+	if in != nil && sol != nil {
+		c.checkDVI(in, sol)
+	}
+	return c.rep
+}
+
+// Metrics independently recounts the table metrics of a routed
+// solution: total wirelength (distinct planar unit segments per net)
+// and total via count (distinct via sites per net). It walks the raw
+// path polylines, sharing no code with router.Stats.
+func Metrics(routes []*grid.Route) (wl, vias int) {
+	type seg struct{ a, b geom.Pt3 }
+	for _, r := range routes {
+		if r == nil || len(r.Paths) == 0 {
+			continue
+		}
+		segs := map[seg]bool{}
+		viaSet := map[geom.Pt3]bool{}
+		for _, path := range r.Paths {
+			for i := 1; i < len(path); i++ {
+				a, b := path[i-1], path[i]
+				if a.Layer != b.Layer {
+					base := a
+					if b.Layer < a.Layer {
+						base = b
+					}
+					viaSet[base] = true
+					continue
+				}
+				if b.X < a.X || b.Y < a.Y {
+					a, b = b, a
+				}
+				segs[seg{a, b}] = true
+			}
+		}
+		wl += len(segs)
+		vias += len(viaSet)
+	}
+	return wl, vias
+}
+
+// arm bits of the verifier's own arm encoding.
+const (
+	armE uint8 = 1 << iota
+	armW
+	armN
+	armS
+)
+
+// netData is the verifier's reconstruction of one net's geometry.
+type netData struct {
+	pts  map[geom.Pt3]int   // point → dense index (union-find)
+	arms map[geom.Pt3]uint8 // planar arm mask at each point
+	vias map[geom.Pt3]bool  // via base points (lower layer)
+	// parent is the union-find forest over pts' indices.
+	parent []int
+	valid  bool // geometry walk succeeded (steps legal, on grid)
+}
+
+func (nd *netData) find(x int) int {
+	for nd.parent[x] != x {
+		nd.parent[x] = nd.parent[nd.parent[x]]
+		x = nd.parent[x]
+	}
+	return x
+}
+
+func (nd *netData) union(a, b int) {
+	ra, rb := nd.find(a), nd.find(b)
+	if ra != rb {
+		nd.parent[ra] = rb
+	}
+}
+
+type checker struct {
+	nl     *netlist.Netlist
+	routes []*grid.Route
+	opt    Options
+	rep    *Report
+
+	nets []netData
+	// metalOwner maps each occupied metal point to the distinct nets
+	// covering it (shorts keep all owners for reporting).
+	metalOwner map[geom.Pt3][]int32
+	// viaOwner maps each occupied via site (Layer = via layer) to its
+	// owning nets.
+	viaOwner map[geom.Pt3][]int32
+	// pinOwner maps layer-0 pin points to the nets pinning there.
+	pinOwner map[geom.Pt][]int32
+}
+
+func newChecker(nl *netlist.Netlist, routes []*grid.Route, opt Options) *checker {
+	opt = opt.withDefaults()
+	c := &checker{
+		nl:         nl,
+		routes:     routes,
+		opt:        opt,
+		rep:        &Report{max: opt.MaxViolations},
+		nets:       make([]netData, len(nl.Nets)),
+		metalOwner: map[geom.Pt3][]int32{},
+		viaOwner:   map[geom.Pt3][]int32{},
+		pinOwner:   map[geom.Pt][]int32{},
+	}
+	for _, n := range nl.Nets {
+		for _, p := range n.Pins {
+			c.pinOwner[p] = appendDistinct(c.pinOwner[p], int32(n.ID))
+		}
+	}
+	return c
+}
+
+func appendDistinct(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func (c *checker) onGrid(p geom.Pt3) bool {
+	return p.Layer >= 0 && p.Layer < c.nl.NumLayers &&
+		p.X >= 0 && p.X < c.nl.W && p.Y >= 0 && p.Y < c.nl.H
+}
+
+// walkNet rebuilds one net's point set, arm masks and via set from its
+// raw path polylines, validating steps as it goes.
+func (c *checker) walkNet(id int32, r *grid.Route) {
+	nd := &c.nets[id]
+	nd.pts = map[geom.Pt3]int{}
+	nd.arms = map[geom.Pt3]uint8{}
+	nd.vias = map[geom.Pt3]bool{}
+	nd.valid = true
+
+	idxOf := func(p geom.Pt3) int {
+		if i, ok := nd.pts[p]; ok {
+			return i
+		}
+		i := len(nd.parent)
+		nd.pts[p] = i
+		nd.parent = append(nd.parent, i)
+		return i
+	}
+
+	for _, path := range r.Paths {
+		for i, p := range path {
+			if !c.onGrid(p) {
+				c.rep.add(OffGrid, id, p, "path point outside %dx%dx%d grid", c.nl.W, c.nl.H, c.nl.NumLayers)
+				nd.valid = false
+				continue
+			}
+			pi := idxOf(p)
+			if i == 0 {
+				continue
+			}
+			prev := path[i-1]
+			if !c.onGrid(prev) {
+				continue // already reported
+			}
+			dx, dy, dz := p.X-prev.X, p.Y-prev.Y, p.Layer-prev.Layer
+			adx, ady, adz := abs(dx), abs(dy), abs(dz)
+			if adx+ady+adz != 1 {
+				c.rep.add(BadStep, id, p, "step %v -> %v is not a unit grid step", prev, p)
+				nd.valid = false
+				continue
+			}
+			nd.union(nd.pts[prev], pi)
+			switch {
+			case adz == 1:
+				base := prev
+				if dz < 0 {
+					base = p
+				}
+				nd.vias[base] = true
+			case dx == 1:
+				nd.arms[prev] |= armE
+				nd.arms[p] |= armW
+			case dx == -1:
+				nd.arms[prev] |= armW
+				nd.arms[p] |= armE
+			case dy == 1:
+				nd.arms[prev] |= armN
+				nd.arms[p] |= armS
+			default: // dy == -1
+				nd.arms[prev] |= armS
+				nd.arms[p] |= armN
+			}
+		}
+	}
+
+	for p := range nd.pts {
+		c.metalOwner[p] = appendDistinct(c.metalOwner[p], id)
+	}
+	for v := range nd.vias {
+		c.viaOwner[v] = appendDistinct(c.viaOwner[v], id)
+	}
+}
+
+// checkGeometry runs the structural checks: path legality, pin
+// coverage, connectivity, shorts and pin obstructions.
+func (c *checker) checkGeometry() {
+	for i, n := range c.nl.Nets {
+		id := int32(i)
+		var r *grid.Route
+		if i < len(c.routes) {
+			r = c.routes[i]
+		}
+		if r == nil || len(r.Paths) == 0 {
+			c.rep.add(Unrouted, id, geom.Pt3{}, "net %q has no route", n.Name)
+			continue
+		}
+		c.walkNet(id, r)
+		nd := &c.nets[i]
+
+		// Pin coverage on layer 0.
+		missing := false
+		for _, p := range n.Pins {
+			if _, ok := nd.pts[geom.XYL(p.X, p.Y, 0)]; !ok {
+				c.rep.add(PinMissing, id, geom.XYL(p.X, p.Y, 0), "pin %v not covered by route", p)
+				missing = true
+			}
+		}
+		// Connectivity: every point in one component (no floating
+		// metal, pins mutually reachable). Skip when the walk already
+		// failed — union-find over broken paths is meaningless.
+		if !nd.valid || missing || len(nd.parent) == 0 {
+			continue
+		}
+		root := nd.find(0)
+		for p, i := range nd.pts {
+			if nd.find(i) != root {
+				c.rep.add(Disconnected, id, p, "metal at %v not connected to the rest of the net", p)
+				break
+			}
+		}
+	}
+
+	// Shorts: metal points and via sites with more than one owner.
+	for p, owners := range c.metalOwner {
+		if len(owners) > 1 {
+			c.rep.add(MetalShort, owners[0], p, "nets %v share metal point %v", owners, p)
+		}
+	}
+	for v, owners := range c.viaOwner {
+		if len(owners) > 1 {
+			c.rep.add(ViaShort, owners[0], v, "nets %v share via site %v", owners, v)
+		}
+	}
+	// Pin obstructions: a net's metal on layer 0 over a foreign pin.
+	for p, owners := range c.metalOwner {
+		if p.Layer != 0 {
+			continue
+		}
+		pinNets, ok := c.pinOwner[p.Pt2()]
+		if !ok {
+			continue
+		}
+		for _, o := range owners {
+			if !containsNet(pinNets, o) {
+				c.rep.add(PinObstruction, o, p, "route covers pin of net(s) %v", pinNets)
+			}
+		}
+	}
+}
+
+func containsNet(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTurns validates SADP turn legality: every point whose metal
+// shape is exactly two perpendicular arms forms an L that must not be
+// forbidden in the chosen mode. Points with one arm, straight wires,
+// T- and X-junctions carry no L constraint (the producer's rule).
+func (c *checker) checkTurns() {
+	for i := range c.nets {
+		nd := &c.nets[i]
+		if !nd.valid {
+			continue
+		}
+		for p, arms := range nd.arms {
+			h := arms & (armE | armW)
+			v := arms & (armN | armS)
+			if h == 0 || v == 0 {
+				continue // no corner
+			}
+			if popcount4(arms) != 2 {
+				continue // T or X junction: unconstrained
+			}
+			if forbiddenL(c.opt.SADP, p.Pt2(), h, v) {
+				c.rep.add(ForbiddenTurn, int32(i), p, "L-turn (%s) forbidden for %v at parity (%d,%d)",
+					armString(arms), c.opt.SADP, p.X&1, p.Y&1)
+			}
+		}
+	}
+}
+
+func popcount4(m uint8) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+func armString(m uint8) string {
+	var parts []string
+	if m&armE != 0 {
+		parts = append(parts, "E")
+	}
+	if m&armW != 0 {
+		parts = append(parts, "W")
+	}
+	if m&armN != 0 {
+		parts = append(parts, "N")
+	}
+	if m&armS != 0 {
+		parts = append(parts, "S")
+	}
+	return strings.Join(parts, "|")
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package verify_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/coloring"
+	"repro/internal/dvi"
+	"repro/internal/verify"
+)
+
+// TestCleanSolutionsPass runs the full pipeline on the tiny suite in
+// every SADP mode × DVI method combination and asserts the verifier
+// finds nothing to complain about — the other half of the mutation
+// tests, which assert it does complain on corrupted solutions.
+func TestCleanSolutionsPass(t *testing.T) {
+	for _, ckt := range bench.TinySuite() {
+		for _, mode := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+			for _, method := range []bench.DVIMethod{bench.HeurDVI, bench.ILPDVI} {
+				ckt, mode, method := ckt, mode, method
+				t.Run(fmt.Sprintf("%s/%v/%v", ckt.Name, mode, method), func(t *testing.T) {
+					t.Parallel()
+					nl := bench.Generate(ckt)
+					spec := bench.RunSpec{
+						Scheme:      mode,
+						ConsiderDVI: true,
+						ConsiderTPL: true,
+						Method:      method,
+						// The ILP proves some tiny instances slowly; a
+						// short limit returns the warm-start incumbent,
+						// which is all the verifier needs.
+						ILPTimeLimit: 5 * time.Second,
+					}
+					row, art, err := bench.Run(nl, spec)
+					if err != nil {
+						t.Fatalf("bench.Run: %v", err)
+					}
+					opt := verify.Options{SADP: mode, CheckTPL: true}
+					rep := verify.Solution(nl, art.Router.Routes(), art.Instance, art.Solution, opt)
+					if err := rep.Err(); err != nil {
+						t.Errorf("verifier rejects clean solution: %v", err)
+					}
+					wl, vias := verify.Metrics(art.Router.Routes())
+					if wl != row.WL || vias != row.Vias {
+						t.Errorf("independent metrics recount (wl=%d vias=%d) disagrees with reported row (wl=%d vias=%d)",
+							wl, vias, row.WL, row.Vias)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHeuristicNeverBeatsILP routes each tiny circuit once and solves
+// the same DVI instance with both methods: the ILP warm-starts from the
+// heuristic, so its inserted-via count must be at least the
+// heuristic's.
+func TestHeuristicNeverBeatsILP(t *testing.T) {
+	for _, ckt := range bench.TinySuite() {
+		for _, mode := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+			ckt, mode := ckt, mode
+			t.Run(fmt.Sprintf("%s/%v", ckt.Name, mode), func(t *testing.T) {
+				t.Parallel()
+				nl := bench.Generate(ckt)
+				spec := bench.RunSpec{Scheme: mode, ConsiderDVI: true, ConsiderTPL: true, Method: bench.NoDVI}
+				_, art, err := bench.Run(nl, spec)
+				if err != nil {
+					t.Fatalf("bench.Run: %v", err)
+				}
+				in := dvi.NewInstance(art.Router.Grid(), art.Router.Routes())
+				heur := in.SolveHeuristic(dvi.DefaultHeurParams())
+				ilp, err := in.SolveILP(dvi.ILPOptions{TimeLimit: 5 * time.Second})
+				if err != nil {
+					t.Fatalf("SolveILP: %v", err)
+				}
+				if ilp.InsertedCount < heur.InsertedCount {
+					t.Errorf("ILP inserted %d vias, heuristic %d: exact solve must not be worse",
+						ilp.InsertedCount, heur.InsertedCount)
+				}
+				opt := verify.Options{SADP: mode, CheckTPL: true}
+				for name, sol := range map[string]*dvi.Solution{"heur": heur, "ilp": ilp} {
+					if err := verify.Solution(nl, art.Router.Routes(), in, sol, opt).Err(); err != nil {
+						t.Errorf("%s solution rejected: %v", name, err)
+					}
+				}
+			})
+		}
+	}
+}
