@@ -4,12 +4,17 @@
 // Usage:
 //
 //	sadprouted [-addr :8080] [-queue 64] [-workers 2] [-cache 128]
-//	           [-job-timeout 10m] [-drain-timeout 60s] [-addr-file f] [-quiet]
+//	           [-job-timeout 10m] [-drain-timeout 60s] [-addr-file f]
+//	           [-data-dir d] [-max-request-bytes n] [-max-attempts 2]
+//	           [-degrade] [-quiet]
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /healthz,
 // GET /metrics. See the README "Serving" section for a curl
 // walkthrough. On SIGTERM/SIGINT the daemon stops accepting
-// submissions, drains every accepted job, then exits.
+// submissions, drains every accepted job, then exits. With -data-dir
+// set, accepted jobs survive a hard crash (kill -9): the journal is
+// replayed on restart and unfinished jobs re-run. See the README
+// "Crash recovery & degraded modes" section.
 package main
 
 import (
@@ -40,7 +45,11 @@ func run() int {
 	storedJobs := flag.Int("stored-jobs", 1024, "max finished jobs kept for polling")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock limit (0 = none); also caps the DVI ILP budget")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to drain in-flight jobs on shutdown before canceling them")
-	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	maxBody := flag.Int64("max-request-bytes", 8<<20, "max request body bytes; larger submissions get 413")
+	flag.Int64Var(maxBody, "max-body", 8<<20, "alias for -max-request-bytes")
+	dataDir := flag.String("data-dir", "", "directory for the durable job journal; empty disables crash recovery")
+	maxAttempts := flag.Int("max-attempts", 2, "execution attempts per job before quarantine/interruption")
+	degrade := flag.Bool("degrade", false, "enable deadline-driven degraded modes for every job by default")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
@@ -48,15 +57,22 @@ func run() int {
 	if *quiet {
 		logf = func(string, ...interface{}) {}
 	}
-	svc := service.New(service.Config{
-		QueueSize:     *queue,
-		Workers:       *workers,
-		CacheSize:     *cache,
-		MaxStoredJobs: *storedJobs,
-		JobTimeout:    *jobTimeout,
-		MaxBodyBytes:  *maxBody,
-		Logf:          logf,
+	svc, err := service.New(service.Config{
+		QueueSize:        *queue,
+		Workers:          *workers,
+		CacheSize:        *cache,
+		MaxStoredJobs:    *storedJobs,
+		JobTimeout:       *jobTimeout,
+		MaxBodyBytes:     *maxBody,
+		DataDir:          *dataDir,
+		MaxAttempts:      *maxAttempts,
+		DegradeByDefault: *degrade,
+		Logf:             logf,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sadprouted: %v\n", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+)
+
+func hasStep(steps []string, want string) bool {
+	for _, s := range steps {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// An already-expired TPL budget degrades the violation-removal phase:
+// the run still succeeds, is congestion-free (the verifier's geometry
+// and short checks stay fully enforced), reports the remaining FVPs
+// honestly, and is deterministic across runs.
+func TestDegradeTPLBudget(t *testing.T) {
+	nl := Generate(TinySuite()[0])
+	spec := RunSpec{
+		Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
+		Method: HeurDVI, Degrade: true, TPLBudget: time.Nanosecond, Verify: true,
+	}
+	row, art, err := Run(nl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasStep(art.Degraded, "tpl-rr-timeout") {
+		t.Fatalf("Degraded = %v, want tpl-rr-timeout", art.Degraded)
+	}
+	if art.Verify == nil {
+		t.Fatal("Verify requested but no report attached")
+	}
+	if err := art.Verify.Err(); err != nil {
+		t.Fatalf("verifier rejects the degraded solution: %v", err)
+	}
+	if row.Routability != 1 {
+		t.Fatalf("routability %v in degraded run", row.Routability)
+	}
+	if st := art.Router.Stats(); !st.TPLDegraded || st.RemainingFVPs != art.RemainingFVPs {
+		t.Fatalf("stats %+v inconsistent with artifacts (remaining %d)", st, art.RemainingFVPs)
+	}
+
+	// Determinism: the degraded path takes no timing-dependent branch
+	// beyond the (always-expired) deadline, so a second run is
+	// identical.
+	row2, art2, err := Run(nl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row.RouteCPU, row.DVICPU, row2.RouteCPU, row2.DVICPU = 0, 0, 0, 0
+	if row != row2 || art.RemainingFVPs != art2.RemainingFVPs {
+		t.Fatalf("degraded runs differ:\n%+v (rem %d)\n%+v (rem %d)",
+			row, art.RemainingFVPs, row2, art2.RemainingFVPs)
+	}
+}
+
+// An exhausted ILP budget under Degrade falls back to the paper's
+// heuristic instead of failing, flags the result, and matches a plain
+// heuristic run exactly.
+func TestDegradeILPTimeLimit(t *testing.T) {
+	nl := Generate(TinySuite()[0])
+	spec := RunSpec{
+		Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
+		Method: ILPDVI, ILPTimeLimit: time.Nanosecond, Degrade: true, Verify: true,
+	}
+	row, art, err := Run(nl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasStep(art.Degraded, "dvi-ilp-timeout") {
+		t.Fatalf("Degraded = %v, want dvi-ilp-timeout", art.Degraded)
+	}
+	if err := art.Verify.Err(); err != nil {
+		t.Fatalf("verifier rejects the degraded solution: %v", err)
+	}
+
+	heur := spec
+	heur.Method = HeurDVI
+	heur.Degrade = false
+	heur.ILPTimeLimit = 0
+	hrow, _, err := Run(nl, heur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.DV != hrow.DV || row.UV != hrow.UV {
+		t.Fatalf("degraded ILP row DV/UV %d/%d differs from heuristic %d/%d",
+			row.DV, row.UV, hrow.DV, hrow.UV)
+	}
+}
+
+// Without the Degrade flag the budgets are inert: the run must behave
+// exactly like an unbudgeted one and report no degradation.
+func TestBudgetsInertWithoutDegrade(t *testing.T) {
+	nl := Generate(TinySuite()[0])
+	spec := RunSpec{
+		Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
+		Method: HeurDVI, TPLBudget: time.Nanosecond, Verify: true,
+	}
+	_, art, err := Run(nl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Degraded) != 0 {
+		t.Fatalf("Degraded = %v without the Degrade flag", art.Degraded)
+	}
+	if art.Router.Stats().TPLDegraded {
+		t.Fatal("TPL phase degraded without the Degrade flag")
+	}
+	if err := art.Verify.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

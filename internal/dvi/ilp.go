@@ -232,6 +232,7 @@ func (in *Instance) SolveILP(opts ILPOptions) (*Solution, error) {
 		Inserted:  make([]int, n),
 		Colors:    make([]int8, n),
 		RedColors: make([]int8, n),
+		LimitHit:  res.Status == ilp.Feasible,
 	}
 	for i := 0; i < n; i++ {
 		s.Inserted[i] = -1

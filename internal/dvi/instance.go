@@ -55,6 +55,12 @@ type Solution struct {
 	InsertedCount int
 	DeadVias      int
 	Uncolorable   int
+	// LimitHit is set by SolveILP when a time or node limit stopped
+	// the search before optimality was proven: the solution is the
+	// best incumbent found — never worse than the warm-starting
+	// heuristic — but possibly suboptimal. Heuristic solutions leave
+	// it false.
+	LimitHit bool
 }
 
 // redundantAt returns the location of via i's redundant via, or false.

@@ -1,0 +1,176 @@
+// Package fault is a deterministic fault-injection harness for the
+// serving stack. Production code threads named injection sites through
+// its failure-prone operations — journal appends, worker execution,
+// cache reads and writes — and the chaos tests script which hits of
+// which sites trip, so every recovery path can be exercised on demand
+// and reproduced exactly from a seed.
+//
+// A nil *Injector is the production configuration: every method is
+// nil-safe and Inject on a nil (or empty) injector is a single atomic
+// load away from returning nil, so instrumented call sites cost
+// effectively nothing when chaos is off.
+//
+// Determinism: a site trips based only on (a) its scripted hit numbers
+// or (b) a per-site RNG derived from the injector seed and the site
+// name, consumed once per hit of that site. Concurrent hits of
+// *different* sites therefore cannot perturb each other's decisions;
+// two runs that hit each site the same number of times in the same
+// per-site order observe identical faults.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the error returned by a tripped (non-panicking)
+// injection site. Callers treat it like any other I/O failure;
+// errors.Is lets tests confirm a failure was injected rather than
+// organic.
+var ErrInjected = errors.New("fault: injected failure")
+
+// SiteConfig scripts one injection site.
+type SiteConfig struct {
+	// After skips the first After hits of the site before any trip is
+	// considered.
+	After int
+	// Times bounds the number of trips (0 means 1; negative means
+	// unlimited).
+	Times int
+	// Prob, when in (0,1), trips each eligible hit with this
+	// probability, drawn from the site's seeded RNG. Zero means every
+	// eligible hit trips (up to Times).
+	Prob float64
+	// Panic makes the site panic with a *Panic value instead of
+	// returning ErrInjected — the knob for exercising recover() paths.
+	Panic bool
+}
+
+// Panic is the value thrown by a panicking site, so recovery code and
+// tests can tell an injected panic from an organic one.
+type Panic struct{ Site string }
+
+func (p *Panic) Error() string { return fmt.Sprintf("fault: injected panic at %q", p.Site) }
+
+type siteState struct {
+	cfg   SiteConfig
+	rng   *rand.Rand
+	hits  int
+	trips int
+}
+
+// Injector decides, per named site, whether a hit fails.
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	sites map[string]*siteState
+}
+
+// New builds an injector whose probabilistic decisions derive from
+// seed. Sites must be registered with Configure before they trip.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, sites: make(map[string]*siteState)}
+}
+
+// Configure scripts a site. Reconfiguring a site resets its counters
+// and re-derives its RNG from the injector seed.
+func (in *Injector) Configure(site string, cfg SiteConfig) {
+	if in == nil {
+		return
+	}
+	if cfg.Times == 0 {
+		cfg.Times = 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	in.mu.Lock()
+	in.sites[site] = &siteState{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(in.seed ^ int64(h.Sum64()))),
+	}
+	in.mu.Unlock()
+}
+
+// Inject records a hit of the site and returns ErrInjected (or panics,
+// when the site is configured to) if the hit trips. Unconfigured sites
+// and nil injectors never trip.
+func (in *Injector) Inject(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st, ok := in.sites[site]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	st.hits++
+	trip := st.hits > st.cfg.After &&
+		(st.cfg.Times < 0 || st.trips < st.cfg.Times)
+	if trip && st.cfg.Prob > 0 && st.cfg.Prob < 1 {
+		trip = st.rng.Float64() < st.cfg.Prob
+	}
+	if trip {
+		st.trips++
+	}
+	panics := st.cfg.Panic
+	in.mu.Unlock()
+	if !trip {
+		return nil
+	}
+	if panics {
+		panic(&Panic{Site: site})
+	}
+	return ErrInjected
+}
+
+// Hits reports how many times the site was reached.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[site]; ok {
+		return st.hits
+	}
+	return 0
+}
+
+// Trips reports how many hits of the site actually failed.
+func (in *Injector) Trips(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[site]; ok {
+		return st.trips
+	}
+	return 0
+}
+
+// Snapshot renders "site hits/trips" lines in site order — a compact
+// fingerprint the determinism tests compare across runs.
+func (in *Injector) Snapshot() string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.sites))
+	for name := range in.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		st := in.sites[name]
+		out += fmt.Sprintf("%s %d/%d\n", name, st.hits, st.trips)
+	}
+	return out
+}

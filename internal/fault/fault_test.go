@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorNeverTrips(t *testing.T) {
+	var in *Injector
+	if err := in.Inject("anything"); err != nil {
+		t.Fatalf("nil injector tripped: %v", err)
+	}
+	in.Configure("anything", SiteConfig{})
+	if in.Hits("anything") != 0 || in.Trips("anything") != 0 || in.Snapshot() != "" {
+		t.Fatal("nil injector recorded state")
+	}
+}
+
+func TestUnconfiguredSiteNeverTrips(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if err := in.Inject("unscripted"); err != nil {
+			t.Fatalf("unscripted site tripped: %v", err)
+		}
+	}
+	if in.Hits("unscripted") != 0 {
+		t.Fatal("unconfigured sites are not counted")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := New(1)
+	in.Configure("s", SiteConfig{After: 2, Times: 3})
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, in.Inject("s") != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: tripped=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if in.Hits("s") != 8 || in.Trips("s") != 3 {
+		t.Fatalf("hits/trips = %d/%d, want 8/3", in.Hits("s"), in.Trips("s"))
+	}
+}
+
+func TestTimesZeroMeansOnce(t *testing.T) {
+	in := New(1)
+	in.Configure("s", SiteConfig{})
+	if err := in.Inject("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: %v", err)
+	}
+	if err := in.Inject("s"); err != nil {
+		t.Fatalf("second hit tripped: %v", err)
+	}
+}
+
+func TestUnlimitedTimes(t *testing.T) {
+	in := New(1)
+	in.Configure("s", SiteConfig{Times: -1})
+	for i := 0; i < 50; i++ {
+		if err := in.Inject("s"); err == nil {
+			t.Fatalf("hit %d did not trip", i+1)
+		}
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := New(1)
+	in.Configure("boom", SiteConfig{Panic: true})
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok || p.Site != "boom" {
+			t.Fatalf("recovered %v, want *Panic{boom}", r)
+		}
+	}()
+	in.Inject("boom")
+	t.Fatal("site did not panic")
+}
+
+// The probabilistic schedule is a pure function of (seed, site, hit
+// number): two injectors with the same seed agree hit by hit, a
+// different seed produces a different schedule.
+func TestProbDeterministicPerSeed(t *testing.T) {
+	trace := func(seed int64) []bool {
+		in := New(seed)
+		in.Configure("p", SiteConfig{Times: -1, Prob: 0.5})
+		var tr []bool
+		for i := 0; i < 64; i++ {
+			tr = append(tr, in.Inject("p") != nil)
+		}
+		return tr
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-hit schedule")
+	}
+}
+
+// Per-site RNG streams are independent: interleaving hits of another
+// site does not shift a site's decisions.
+func TestSitesIndependent(t *testing.T) {
+	solo := New(7)
+	solo.Configure("a", SiteConfig{Times: -1, Prob: 0.5})
+	var want []bool
+	for i := 0; i < 32; i++ {
+		want = append(want, solo.Inject("a") != nil)
+	}
+
+	mixed := New(7)
+	mixed.Configure("a", SiteConfig{Times: -1, Prob: 0.5})
+	mixed.Configure("b", SiteConfig{Times: -1, Prob: 0.5})
+	for i := 0; i < 32; i++ {
+		mixed.Inject("b")
+		if got := mixed.Inject("a") != nil; got != want[i] {
+			t.Fatalf("hit %d of site a shifted by interleaved site b", i+1)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	in := New(1)
+	in.Configure("b", SiteConfig{Times: -1})
+	in.Configure("a", SiteConfig{After: 1})
+	in.Inject("b")
+	in.Inject("a")
+	if got, want := in.Snapshot(), "a 1/0\nb 1/1\n"; got != want {
+		t.Fatalf("snapshot %q, want %q", got, want)
+	}
+}
+
+func TestConcurrentHitsRaceClean(t *testing.T) {
+	in := New(1)
+	in.Configure("c", SiteConfig{Times: 10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Inject("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Hits("c") != 800 || in.Trips("c") != 10 {
+		t.Fatalf("hits/trips = %d/%d, want 800/10", in.Hits("c"), in.Trips("c"))
+	}
+}

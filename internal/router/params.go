@@ -1,6 +1,10 @@
 package router
 
-import "repro/internal/coloring"
+import (
+	"time"
+
+	"repro/internal/coloring"
+)
 
 // CostScale is the integer cost unit of one preferred-direction wire
 // segment. It is divisible by 1..4 so the paper's α/feasible-DVIC and
@@ -107,6 +111,16 @@ type Config struct {
 	// per rip-up round afterwards) and returns ErrCanceled once it is
 	// closed. Wire a context's Done() channel here to bound a run.
 	Cancel <-chan struct{}
+	// TPLBudget, when positive, bounds the wall-clock time of the TPL
+	// violation-removal phase (measured from the phase's start). On
+	// expiry the phase degrades instead of running to convergence: it
+	// still resolves congestion (a congested solution is shorted and
+	// never acceptable) but stops FVP rip-up work, returns the
+	// best-so-far solution, and reports the unresolved window count in
+	// Stats.RemainingFVPs with Stats.TPLDegraded set. The follow-up
+	// 3-colorability pass is skipped on a degraded run (its guarantee
+	// is moot while FVPs remain). Zero means run to convergence.
+	TPLBudget time.Duration
 }
 
 func (c Config) withDefaults(numNets int) Config {

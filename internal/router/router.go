@@ -107,6 +107,12 @@ type Stats struct {
 	// ColorFixIterations counts nets ripped in the final 3-colorability
 	// fix-up (expected 0; §III-D).
 	ColorFixIterations int
+	// TPLDegraded is set when Config.TPLBudget expired and the TPL
+	// violation-removal phase returned its best-so-far solution.
+	TPLDegraded bool
+	// RemainingFVPs counts the forbidden via patterns left unresolved
+	// by a degraded TPL phase (0 on a full run).
+	RemainingFVPs int
 }
 
 // ErrCanceled reports that the run was aborted through Config.Cancel.
@@ -204,13 +210,17 @@ func (rt *Router) Run() error {
 	if err := rt.resolveCongestion(); err != nil {
 		return err
 	}
-	// Phase 3+4: TPL violation removal and 3-colorability check.
+	// Phase 3+4: TPL violation removal and 3-colorability check. A
+	// degraded phase 3 (TPLBudget expired) skips the colorability
+	// pass: its guarantee only holds for an FVP-free via layout.
 	if rt.cfg.ConsiderTPL {
 		if err := rt.removeTPLViolations(); err != nil {
 			return err
 		}
-		if err := rt.ensureColorable(); err != nil {
-			return err
+		if !rt.stats.TPLDegraded {
+			if err := rt.ensureColorable(); err != nil {
+				return err
+			}
 		}
 	}
 	rt.collectStats()

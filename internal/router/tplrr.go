@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/geom"
 )
@@ -30,9 +31,16 @@ func fvpKeyLess(a, b fvpKey) bool {
 }
 
 // removeTPLViolations runs the phase to a violation-free state or
-// errors out when the iteration budget is exhausted.
+// errors out when the iteration budget is exhausted. Under a
+// Config.TPLBudget it instead degrades on expiry: congestion is still
+// resolved (shorts are never acceptable), FVP work stops, and the
+// unresolved windows are counted into Stats.
 func (rt *Router) removeTPLViolations() error {
 	P := rt.cfg.Params
+	var tplDeadline time.Time
+	if rt.cfg.TPLBudget > 0 {
+		tplDeadline = time.Now().Add(rt.cfg.TPLBudget)
+	}
 
 	// Line 2 of Algorithm 2: block via locations that would create an
 	// FVP if used (Fig 10). Full initial scan — the only whole-grid
@@ -65,7 +73,9 @@ func (rt *Router) removeTPLViolations() error {
 		if iter%100 == 0 {
 			rt.logf("tplrr iter %d: %d congestions, %d fvp entries", iter, len(rt.g.Congestions()), len(fvps))
 		}
-		// Congestion has priority over FVPs (§III-C).
+		// Congestion has priority over FVPs (§III-C), and outranks the
+		// phase budget too: a congested solution is shorted, so its
+		// resolution continues even past the deadline.
 		if cong := rt.g.Congestions(); len(cong) > 0 {
 			if iter >= rt.cfg.MaxTPLRRIters {
 				return fmt.Errorf("router: congestion unresolved after %d TPL R&R iterations", iter)
@@ -74,6 +84,19 @@ func (rt *Router) removeTPLViolations() error {
 				return err
 			}
 			continue
+		}
+		// Phase budget expired: return the congestion-free best-so-far
+		// with an honest full recount of the remaining FVP windows.
+		if !tplDeadline.IsZero() && time.Now().After(tplDeadline) {
+			remaining := 0
+			for _, lv := range rt.g.Vias {
+				remaining += len(lv.AllFVPsN(rt.cfg.Workers))
+			}
+			rt.stats.TPLDegraded = true
+			rt.stats.RemainingFVPs = remaining
+			rt.stats.TPLRRIterations = iter
+			rt.logf("tplrr degraded at iter %d: %d FVPs remain", iter, remaining)
+			return nil
 		}
 		// Drop stale FVP entries; pick the lexicographically first live
 		// one for determinism.

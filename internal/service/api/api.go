@@ -34,6 +34,14 @@ type Result struct {
 	// InsertedVias counts redundant vias inserted by post-routing DVI
 	// (0 when Spec.Method is "none").
 	InsertedVias int `json:"inserted_vias"`
+	// Degraded lists the graceful-degradation steps the flow took
+	// instead of failing when a phase budget expired (e.g.
+	// "dvi-ilp-timeout", "tpl-rr-timeout"). Empty on a full-fidelity
+	// run.
+	Degraded []string `json:"degraded,omitempty"`
+	// RemainingFVPs counts forbidden via patterns left unresolved when
+	// the TPL violation-removal phase was degraded (0 otherwise).
+	RemainingFVPs int `json:"remaining_fvps,omitempty"`
 	// Verify is the independent checker's verdict, present when the
 	// spec set "verify": true.
 	Verify *VerifyReport `json:"verify,omitempty"`
@@ -57,6 +65,8 @@ func ResultFrom(spec bench.RunSpec, row bench.Row, art *bench.Artifacts) Result 
 	if art == nil {
 		return res
 	}
+	res.Degraded = art.Degraded
+	res.RemainingFVPs = art.RemainingFVPs
 	if art.Solution != nil {
 		res.InsertedVias = art.Solution.InsertedCount
 	}
@@ -78,6 +88,11 @@ const (
 	StatusRunning JobStatus = "running"
 	StatusDone    JobStatus = "done"
 	StatusFailed  JobStatus = "failed"
+	// StatusQuarantined marks a poison job: it panicked the worker on
+	// every allowed attempt and will not be retried. Submissions whose
+	// content address matches a quarantined job are answered with this
+	// status immediately instead of crash-looping the daemon.
+	StatusQuarantined JobStatus = "quarantined"
 )
 
 // SubmitResponse is the body of a successful POST /v1/jobs (202).

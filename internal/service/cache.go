@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/router"
 )
 
@@ -22,6 +23,7 @@ type resultCache struct {
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+	fault *fault.Injector
 }
 
 type cacheEntry struct {
@@ -29,12 +31,18 @@ type cacheEntry struct {
 	val json.RawMessage
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+func newResultCache(max int, flt *fault.Injector) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element), fault: flt}
 }
 
-// Get returns the cached payload and promotes the entry.
+// Get returns the cached payload and promotes the entry. A tripped
+// "cache.get" fault site degrades the lookup to a miss — the cache is
+// an optimization, never a correctness dependency, and the chaos
+// suite holds the service to that.
 func (c *resultCache) Get(key string) (json.RawMessage, bool) {
+	if c.fault.Inject("cache.get") != nil {
+		return nil, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -46,9 +54,14 @@ func (c *resultCache) Get(key string) (json.RawMessage, bool) {
 }
 
 // Add inserts (or refreshes) an entry, evicting the least recently
-// used beyond the capacity.
+// used beyond the capacity. A tripped "cache.add" site drops the
+// insert (a lost cache write, as from a full or failing backing
+// store).
 func (c *resultCache) Add(key string, val json.RawMessage) {
 	if c.max <= 0 {
+		return
+	}
+	if c.fault.Inject("cache.add") != nil {
 		return
 	}
 	c.mu.Lock()
@@ -83,7 +96,7 @@ func (c *resultCache) Len() int {
 //   - ILPTimeLimit and ILPNodeLimit are dropped unless the method is
 //     the ILP (and a zero time limit becomes the documented 10-minute
 //     default).
-func cacheKey(netlistText string, spec bench.RunSpec) string {
+func cacheKey(netlistText string, spec bench.RunSpec) (string, error) {
 	norm := spec
 	norm.Workers = 0
 	if norm.Params == (router.Params{}) {
@@ -97,12 +110,15 @@ func cacheKey(netlistText string, spec bench.RunSpec) string {
 	}
 	specJSON, err := json.Marshal(norm)
 	if err != nil {
-		// RunSpec is a plain struct of scalars; this cannot fail.
-		panic(fmt.Sprintf("service: marshal spec: %v", err))
+		// RunSpec is a plain struct of scalars so this should be
+		// unreachable — but a request-derived value must never be able
+		// to panic the daemon, so the error flows back to the submit
+		// path (which answers 400) instead.
+		return "", fmt.Errorf("marshal spec: %w", err)
 	}
 	h := sha256.New()
 	h.Write([]byte(netlistText))
 	h.Write([]byte{0})
 	h.Write(specJSON)
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), nil
 }

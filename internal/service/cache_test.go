@@ -11,8 +11,19 @@ import (
 	"repro/internal/router"
 )
 
+// mustKey computes the cache key or fails the test; the tests here
+// only feed marshalable specs.
+func mustKey(t *testing.T, netlistText string, spec bench.RunSpec) string {
+	t.Helper()
+	k, err := cacheKey(netlistText, spec)
+	if err != nil {
+		t.Fatalf("cacheKey: %v", err)
+	}
+	return k
+}
+
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.Add("a", json.RawMessage(`1`))
 	c.Add("b", json.RawMessage(`2`))
 	if _, ok := c.Get("a"); !ok { // promote a; b becomes LRU
@@ -43,19 +54,19 @@ func TestCacheKeyNormalization(t *testing.T) {
 
 	workers := base
 	workers.Workers = 8
-	if cacheKey(nl, base) != cacheKey(nl, workers) {
+	if mustKey(t, nl, base) != mustKey(t, nl, workers) {
 		t.Fatal("Workers must not affect the cache key (output is worker-invariant)")
 	}
 
 	defaults := base
 	defaults.Params = router.DefaultParams()
-	if cacheKey(nl, base) != cacheKey(nl, defaults) {
+	if mustKey(t, nl, base) != mustKey(t, nl, defaults) {
 		t.Fatal("zero Params and explicit defaults must share a key")
 	}
 
 	heurLimit := base
 	heurLimit.ILPTimeLimit = time.Minute
-	if cacheKey(nl, base) != cacheKey(nl, heurLimit) {
+	if mustKey(t, nl, base) != mustKey(t, nl, heurLimit) {
 		t.Fatal("ILPTimeLimit must be ignored for non-ILP methods")
 	}
 
@@ -63,21 +74,21 @@ func TestCacheKeyNormalization(t *testing.T) {
 	ilpZero.Method = bench.ILPDVI
 	ilpTen := ilpZero
 	ilpTen.ILPTimeLimit = 10 * time.Minute
-	if cacheKey(nl, ilpZero) != cacheKey(nl, ilpTen) {
+	if mustKey(t, nl, ilpZero) != mustKey(t, nl, ilpTen) {
 		t.Fatal("ILP zero time limit must normalize to the 10-minute default")
 	}
 	ilpOther := ilpZero
 	ilpOther.ILPTimeLimit = time.Minute
-	if cacheKey(nl, ilpZero) == cacheKey(nl, ilpOther) {
+	if mustKey(t, nl, ilpZero) == mustKey(t, nl, ilpOther) {
 		t.Fatal("distinct ILP time limits must not share a key")
 	}
 
 	sid := base
 	sid.Scheme = coloring.SID
-	if cacheKey(nl, base) == cacheKey(nl, sid) {
+	if mustKey(t, nl, base) == mustKey(t, nl, sid) {
 		t.Fatal("SIM and SID must not share a key")
 	}
-	if cacheKey(nl, base) == cacheKey(nl+"#\n", base) {
+	if mustKey(t, nl, base) == mustKey(t, nl+"#\n", base) {
 		t.Fatal("different netlist bytes must not share a key")
 	}
 }

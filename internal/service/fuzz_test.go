@@ -20,13 +20,16 @@ import (
 func FuzzSubmit(f *testing.F) {
 	// One shared server with a stub flow: the fuzzer exercises request
 	// handling, not routing.
-	s := New(Config{
+	s, err := New(Config{
 		Workers:   2,
 		QueueSize: 16,
 		Run: func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error) {
 			return api.Result{Row: bench.Row{CKT: nl.Name, Routability: 1}}, nil
 		},
 	})
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	f.Cleanup(func() {
 		ts.Close()

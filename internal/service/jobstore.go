@@ -11,18 +11,29 @@ import (
 
 // job is one submission's lifecycle record. The immutable identity
 // fields are set at creation; the mutable state is guarded by mu and
-// done is closed exactly once on reaching a terminal state.
+// done is closed exactly once on reaching a terminal state: the first
+// terminal transition wins and later ones are no-ops, so concurrent
+// finish/fail (e.g. a worker result racing a crash-recovery sweep)
+// cannot double-close or tear the status/result pair.
 type job struct {
 	id   string
 	key  string // content address (cacheKey)
 	nl   *netlist.Netlist
 	spec bench.RunSpec
+	// netlistText is retained only on journaled jobs: the journal
+	// replays it on restart to re-run interrupted work.
+	netlistText string
 
 	mu       sync.Mutex
 	status   api.JobStatus
 	errMsg   string
 	result   json.RawMessage
 	cacheHit bool
+	terminal bool
+	// attempt counts executions of this job (1 on the first run); it
+	// survives restarts via the journal's running records and bounds
+	// both panic retries and crash-recovery re-enqueues.
+	attempt int
 
 	done chan struct{}
 }
@@ -33,27 +44,60 @@ func newJob(id, key string, nl *netlist.Netlist, spec bench.RunSpec) *job {
 
 func (j *job) setRunning() {
 	j.mu.Lock()
-	j.status = api.StatusRunning
+	if !j.terminal {
+		j.status = api.StatusRunning
+	}
 	j.mu.Unlock()
 }
 
-// finish records a successful result and wakes waiters.
-func (j *job) finish(result json.RawMessage, cacheHit bool) {
+// beginAttempt bumps the attempt counter and returns its new value.
+func (j *job) beginAttempt() int {
 	j.mu.Lock()
-	j.status = api.StatusDone
+	defer j.mu.Unlock()
+	j.attempt++
+	return j.attempt
+}
+
+func (j *job) attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// terminate moves the job to a terminal state exactly once, setting
+// every terminal field under the same lock acquisition so a concurrent
+// response() can never observe a torn status/result pair. It reports
+// whether this call won the transition.
+func (j *job) terminate(status api.JobStatus, result json.RawMessage, errMsg string, cacheHit bool) bool {
+	j.mu.Lock()
+	if j.terminal {
+		j.mu.Unlock()
+		return false
+	}
+	j.terminal = true
+	j.status = status
 	j.result = result
+	j.errMsg = errMsg
 	j.cacheHit = cacheHit
 	j.mu.Unlock()
 	close(j.done)
+	return true
+}
+
+// finish records a successful result and wakes waiters.
+func (j *job) finish(result json.RawMessage, cacheHit bool) bool {
+	return j.terminate(api.StatusDone, result, "", cacheHit)
 }
 
 // fail records a terminal error and wakes waiters.
-func (j *job) fail(msg string) {
-	j.mu.Lock()
-	j.status = api.StatusFailed
-	j.errMsg = msg
-	j.mu.Unlock()
-	close(j.done)
+func (j *job) fail(msg string) bool {
+	return j.terminate(api.StatusFailed, nil, msg, false)
+}
+
+// quarantine marks the job as poisonous: it crashed repeatedly and
+// will not be retried.
+func (j *job) quarantine(msg string) bool {
+	return j.terminate(api.StatusQuarantined, nil, msg, false)
 }
 
 func (j *job) finished() bool {

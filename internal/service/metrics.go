@@ -31,6 +31,21 @@ type Metrics struct {
 	Failed    atomic.Int64
 	// Canceled counts jobs aborted by the per-job timeout or shutdown.
 	Canceled atomic.Int64
+	// Panics counts worker panics caught by the per-attempt recover();
+	// each is converted to a structured failure instead of killing the
+	// daemon.
+	Panics atomic.Int64
+	// Quarantined counts jobs isolated after panicking on every
+	// allowed attempt.
+	Quarantined atomic.Int64
+	// Degraded counts jobs that completed in a degraded mode (phase
+	// budget expired, graceful fallback taken).
+	Degraded atomic.Int64
+	// Replayed counts jobs re-enqueued from the journal on boot.
+	Replayed atomic.Int64
+	// JournalErrors counts failed journal appends (injected or
+	// organic).
+	JournalErrors atomic.Int64
 }
 
 // Gauges are point-in-time values rendered next to the counters.
@@ -59,6 +74,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("sadprouted_jobs_completed_total", "Jobs that finished successfully.", m.Completed.Load())
 	counter("sadprouted_jobs_failed_total", "Jobs that finished with an error.", m.Failed.Load())
 	counter("sadprouted_jobs_canceled_total", "Jobs aborted by timeout or shutdown.", m.Canceled.Load())
+	counter("sadprouted_panics_total", "Worker panics caught and converted to job failures.", m.Panics.Load())
+	counter("sadprouted_quarantined_total", "Jobs quarantined after repeated panics.", m.Quarantined.Load())
+	counter("sadprouted_jobs_degraded_total", "Jobs completed in a degraded mode after a phase budget expired.", m.Degraded.Load())
+	counter("sadprouted_jobs_replayed_total", "Jobs re-enqueued from the journal at boot.", m.Replayed.Load())
+	counter("sadprouted_journal_errors_total", "Journal append failures.", m.JournalErrors.Load())
 	gauge("sadprouted_queue_depth", "Jobs waiting in the FIFO queue.", int64(g.QueueDepth))
 	gauge("sadprouted_jobs_inflight", "Jobs currently being routed.", int64(g.Inflight))
 	gauge("sadprouted_cache_entries", "Entries in the result cache.", int64(g.CacheSize))

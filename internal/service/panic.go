@@ -1,0 +1,45 @@
+package service
+
+import (
+	"regexp"
+	"runtime/debug"
+	"strings"
+)
+
+// Stack redaction for panic reports that leave the process boundary
+// (job error payloads, the journal): keep the call structure —
+// goroutine header, function names, file:line — but strip memory
+// addresses, receiver pointers and argument values, which leak layout
+// and can differ run to run for the same crash. The redacted form is
+// stable for a deterministic panic, which the chaos suite relies on.
+
+const maxStackBytes = 4 << 10
+
+var (
+	// "(0x1234..., 0xabcd)" argument lists and bare "0x..." words.
+	hexWords = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+	// Trailing " +0x5c" frame offsets.
+	frameOffset = regexp.MustCompile(`\s\+0x[0-9a-fA-F]+$`)
+)
+
+// redactedStack captures the current goroutine's stack and redacts it.
+func redactedStack() string {
+	return redactStack(debug.Stack())
+}
+
+func redactStack(raw []byte) string {
+	lines := strings.Split(string(raw), "\n")
+	out := make([]string, 0, len(lines))
+	size := 0
+	for _, line := range lines {
+		line = frameOffset.ReplaceAllString(line, "")
+		line = hexWords.ReplaceAllString(line, "0x…")
+		size += len(line) + 1
+		if size > maxStackBytes {
+			out = append(out, "… stack truncated …")
+			break
+		}
+		out = append(out, line)
+	}
+	return strings.TrimRight(strings.Join(out, "\n"), "\n")
+}

@@ -5,6 +5,14 @@
 // identical submissions, per-job timeouts, backpressure (429 +
 // Retry-After) and graceful drain on shutdown.
 //
+// The fault-tolerance layer on top (see DESIGN.md §10): a durable job
+// journal under Config.DataDir replays accepted work across crashes,
+// worker panics are isolated per attempt and repeat offenders are
+// quarantined by content address, and jobs submitted with the degrade
+// option trade phase budgets for graceful fallbacks instead of
+// failing. All of it is exercised deterministically through
+// internal/fault injection sites.
+//
 // Endpoints:
 //
 //	POST /v1/jobs      submit {netlist, spec} → 202 {id} (200 on cache hit)
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/service/api"
 )
@@ -47,9 +56,12 @@ type Config struct {
 	// evicted FIFO beyond it (default 1024).
 	MaxStoredJobs int
 	// JobTimeout bounds one job's flow; the deadline also caps the
-	// DVI ILP time limit. Zero means no timeout.
+	// DVI ILP time limit. Zero means no timeout. Jobs running in
+	// degrade mode get phase budgets derived from it instead of a hard
+	// deadline (plus a 2× hard backstop).
 	JobTimeout time.Duration
-	// MaxBodyBytes bounds the request body (default 8 MiB).
+	// MaxBodyBytes bounds the request body (default 8 MiB); oversized
+	// submissions are answered with 413.
 	MaxBodyBytes int64
 	// MaxGridCells rejects netlists whose W×H×layers exceeds it
 	// (default 16M): the grid allocates per cell, and the netlist is
@@ -57,6 +69,23 @@ type Config struct {
 	MaxGridCells int
 	// MaxNets bounds the net count per submission (default 200000).
 	MaxNets int
+	// DataDir, when set, enables the durable job journal: accepted
+	// jobs are WAL-logged and replayed on the next start, so queued
+	// and in-flight work survives kill -9.
+	DataDir string
+	// MaxAttempts bounds executions of one job across panics and
+	// crash-recovery re-enqueues (default 2). A job that panics on its
+	// last allowed attempt is quarantined; one interrupted by crashes
+	// that many times is failed as interrupted.
+	MaxAttempts int
+	// DegradeByDefault forces the degrade option on every submission,
+	// for operators who prefer degraded results over deadline
+	// failures.
+	DegradeByDefault bool
+	// Fault, when non-nil, arms the deterministic fault-injection
+	// sites (journal appends, worker execution, cache operations).
+	// Nil — the production configuration — makes every site a no-op.
+	Fault *fault.Injector
 	// Run overrides the flow (tests). Nil means the real flow.
 	Run RunFunc
 	// Logf, when set, receives one line per job transition.
@@ -85,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxNets <= 0 {
 		c.MaxNets = 200000
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
 	if c.Run == nil {
 		c.Run = defaultRun
 	}
@@ -110,10 +142,13 @@ type Server struct {
 	cache   *resultCache
 	store   *jobStore
 	queue   chan *job
+	journal *journal
+	fault   *fault.Injector
 
-	mu      sync.Mutex
-	closed  bool            // no new submissions; queue is closed
-	running map[string]*job // key → queued-or-running job (single-flight)
+	mu          sync.Mutex
+	closed      bool            // no new submissions; queue is closed
+	running     map[string]*job // key → queued-or-running job (single-flight)
+	quarantined map[string]quarInfo
 
 	wg       sync.WaitGroup // worker pool
 	inflight atomic.Int64
@@ -123,20 +158,118 @@ type Server struct {
 	cancelBase context.CancelFunc
 }
 
-// New builds the service and starts its worker pool.
-func New(cfg Config) *Server {
+// quarInfo records a quarantined content address: the job that
+// poisoned it and why, answered to any resubmission of the same
+// payload.
+type quarInfo struct {
+	id  string
+	msg string
+}
+
+// New builds the service, replays the journal when Config.DataDir is
+// set (re-enqueueing interrupted work), and starts the worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		run:     cfg.Run,
-		cache:   newResultCache(cfg.CacheSize),
-		store:   newJobStore(cfg.MaxStoredJobs),
-		queue:   make(chan *job, cfg.QueueSize),
-		running: make(map[string]*job),
+		cfg:         cfg,
+		run:         cfg.Run,
+		fault:       cfg.Fault,
+		cache:       newResultCache(cfg.CacheSize, cfg.Fault),
+		store:       newJobStore(cfg.MaxStoredJobs),
+		running:     make(map[string]*job),
+		quarantined: make(map[string]quarInfo),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+
+	var replayed []*replayedJob
+	if cfg.DataDir != "" {
+		jl, recs, err := openJournal(cfg.DataDir, cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		replayed = foldJournal(recs)
+	}
+	// Size the queue to hold every replayed live job even when that
+	// exceeds the configured capacity: work accepted durably in a past
+	// life must not be dropped by this one's backpressure limit.
+	live := 0
+	for _, rj := range replayed {
+		if rj.status == "" {
+			live++
+		}
+	}
+	qsize := cfg.QueueSize
+	if live > qsize {
+		qsize = live
+	}
+	s.queue = make(chan *job, qsize)
+	if len(replayed) > 0 {
+		if err := s.recover(replayed); err != nil {
+			return nil, err
+		}
+	}
 	s.startWorkers()
-	return s
+	return s, nil
+}
+
+// recover rebuilds the store, cache, quarantine registry and queue
+// from the folded journal, enforcing the attempt bound on interrupted
+// jobs, then compacts the journal to the equivalent minimal record
+// set.
+func (s *Server) recover(jobs []*replayedJob) error {
+	var maxSeq int64
+	for _, rj := range jobs {
+		var n int64
+		if _, err := fmt.Sscanf(rj.id, "j%d-", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		j := newJob(rj.id, rj.key, nil, rj.spec)
+		j.attempt = rj.attempt
+		switch rj.status {
+		case api.StatusDone:
+			j.finish(rj.result, false)
+			if !rj.degraded {
+				s.cache.Add(rj.key, rj.result)
+			}
+		case api.StatusFailed:
+			j.fail(rj.errMsg)
+		case api.StatusQuarantined:
+			j.quarantine(rj.errMsg)
+			s.quarantined[rj.key] = quarInfo{id: rj.id, msg: rj.errMsg}
+		default:
+			// Live job: re-enqueue unless the attempt budget is spent
+			// (every recorded attempt ended in a crash or panic that
+			// never reached a terminal record).
+			if rj.attempt >= s.cfg.MaxAttempts {
+				rj.status = api.StatusFailed
+				rj.errMsg = fmt.Sprintf("interrupted: job did not complete within %d attempts", s.cfg.MaxAttempts)
+				j.fail(rj.errMsg)
+				s.logf("job %s: %s", rj.id, rj.errMsg)
+				s.store.Add(j)
+				continue
+			}
+			nl, err := netlist.Read(strings.NewReader(rj.netlist))
+			if err != nil {
+				rj.status = api.StatusFailed
+				rj.errMsg = fmt.Sprintf("interrupted: journaled submission unreadable: %v", err)
+				j.fail(rj.errMsg)
+				s.store.Add(j)
+				continue
+			}
+			j.nl = nl
+			j.netlistText = rj.netlist
+			s.running[rj.key] = j
+			s.queue <- j
+			s.metrics.Replayed.Add(1)
+			s.logf("job %s replayed from journal (attempt %d/%d)", rj.id, rj.attempt+1, s.cfg.MaxAttempts)
+		}
+		s.store.Add(j)
+	}
+	if maxSeq > s.seq.Load() {
+		s.seq.Store(maxSeq)
+	}
+	return s.journal.rewrite(compactRecords(jobs))
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -165,6 +298,7 @@ func (s *Server) Handler() http.Handler {
 // the drain is still awaited before returning ctx.Err().
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	already := s.closed
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
@@ -176,14 +310,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelBase()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if !already {
+		s.journal.Close()
+	}
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -196,6 +334,25 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// applyDegradeDefaults fills the degrade-mode phase budgets a
+// submission left unset: half the job timeout each for the TPL
+// violation-removal phase and the DVI ILP, so the deadline that would
+// have killed the job instead triggers the graceful fallbacks.
+func (s *Server) applyDegradeDefaults(spec *bench.RunSpec) {
+	if s.cfg.DegradeByDefault {
+		spec.Degrade = true
+	}
+	if !spec.Degrade || s.cfg.JobTimeout <= 0 {
+		return
+	}
+	if spec.ConsiderTPL && spec.TPLBudget == 0 {
+		spec.TPLBudget = s.cfg.JobTimeout / 2
+	}
+	if spec.Method == bench.ILPDVI && spec.ILPTimeLimit == 0 {
+		spec.ILPTimeLimit = s.cfg.JobTimeout / 2
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -229,12 +386,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "netlist: %d nets exceed limit %d", len(nl.Nets), s.cfg.MaxNets)
 		return
 	}
-	key := cacheKey(req.Netlist, req.Spec)
+	s.applyDegradeDefaults(&req.Spec)
+	key, err := cacheKey(req.Netlist, req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "spec: %v", err)
+		return
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	// A quarantined content address is poison: answer with the
+	// quarantine verdict instead of running it again.
+	if q, ok := s.quarantined[key]; ok {
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		writeJSON(w, http.StatusOK, api.SubmitResponse{ID: q.id, Status: api.StatusQuarantined})
 		return
 	}
 	// Single-flight: an identical submission already queued or running
@@ -260,17 +430,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, api.SubmitResponse{ID: id, Status: api.StatusDone, CacheHit: true})
 		return
 	}
-	id := s.nextID(key)
-	j := newJob(id, key, nl, req.Spec)
-	select {
-	case s.queue <- j:
-	default:
+	// Capacity check before the durable accept. Workers only ever
+	// shrink the queue and other producers hold s.mu, so a slot seen
+	// free here cannot vanish before the send below.
+	if len(s.queue) >= s.cfg.QueueSize {
 		s.mu.Unlock()
 		s.metrics.Rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueSize)
 		return
 	}
+	id := s.nextID(key)
+	j := newJob(id, key, nl, req.Spec)
+	j.netlistText = req.Netlist
+	// Durability gate: a 202 promises the job survives a crash, so the
+	// submit record must be on disk before the job is accepted.
+	if err := s.journal.append(journalRecord{Type: recSubmit, ID: id, Key: key, Netlist: req.Netlist, Spec: &req.Spec}); err != nil {
+		s.mu.Unlock()
+		s.metrics.JournalErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	s.queue <- j
 	s.running[key] = j
 	s.store.Add(j)
 	s.mu.Unlock()

@@ -19,6 +19,17 @@ import (
 	"repro/internal/service/api"
 )
 
+// mustNew builds a Server or fails the test; the configs here never
+// set a DataDir that can fail to open.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // tinyNetlist is a minimal valid netlist used where routing speed
 // doesn't matter (the injected RunFunc never touches it).
 const tinyNetlist = "netlist t 8 8 2\nnet a 1 1 5 1\nnet b 2 3 2 6\n"
@@ -100,7 +111,7 @@ func TestEndToEndCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Workers: 1, QueueSize: 4})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 4})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -152,7 +163,7 @@ func TestPerJobVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Workers: 1, QueueSize: 4})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 4})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -194,7 +205,7 @@ func TestPerJobVerify(t *testing.T) {
 func TestQueueFullRejectsWith429(t *testing.T) {
 	started := make(chan string, 8)
 	release := make(chan struct{})
-	s := New(Config{Workers: 1, QueueSize: 1, Run: blockingRun(started, release)})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 1, Run: blockingRun(started, release)})
 	defer func() { close(release); s.Shutdown(context.Background()) }()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -223,7 +234,7 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 func TestSingleFlight(t *testing.T) {
 	started := make(chan string, 8)
 	release := make(chan struct{})
-	s := New(Config{Workers: 1, QueueSize: 4, Run: blockingRun(started, release)})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 4, Run: blockingRun(started, release)})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -259,7 +270,7 @@ func TestSingleFlight(t *testing.T) {
 func TestGracefulShutdownDrainsInflight(t *testing.T) {
 	started := make(chan string, 8)
 	release := make(chan struct{})
-	s := New(Config{Workers: 1, QueueSize: 4, Run: blockingRun(started, release)})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 4, Run: blockingRun(started, release)})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -300,7 +311,7 @@ func TestJobTimeout(t *testing.T) {
 	started := make(chan string, 8)
 	release := make(chan struct{})
 	defer close(release)
-	s := New(Config{Workers: 1, QueueSize: 4, JobTimeout: 30 * time.Millisecond, Run: blockingRun(started, release)})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 4, JobTimeout: 30 * time.Millisecond, Run: blockingRun(started, release)})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -321,7 +332,7 @@ func TestJobTimeout(t *testing.T) {
 
 // Input validation at the trust boundary.
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{Workers: 1, QueueSize: 1, MaxGridCells: 1 << 20})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 1, MaxGridCells: 1 << 20})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -365,7 +376,7 @@ func TestSubmitValidation(t *testing.T) {
 
 // healthz and metrics endpoints respond and carry the expected shape.
 func TestHealthAndMetrics(t *testing.T) {
-	s := New(Config{Workers: 1, QueueSize: 1})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
