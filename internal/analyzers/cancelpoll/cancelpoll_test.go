@@ -1,0 +1,12 @@
+package cancelpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/cancelpoll"
+	"repro/internal/analyzers/lint/linttest"
+)
+
+func TestCancelpoll(t *testing.T) {
+	linttest.Run(t, "testdata/poll", "example.org/pollfixture", cancelpoll.Analyzer)
+}

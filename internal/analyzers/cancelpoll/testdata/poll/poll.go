@@ -1,0 +1,101 @@
+// Package pollfixture exercises cancelpoll. The analyzer matches
+// capabilities structurally (context.Context, channel parameters,
+// structs carrying a Cancel channel — router.Config's shape), so the
+// fixture needs no repo imports.
+package pollfixture
+
+import "context"
+
+// Config mirrors the router config shape: a struct with a Cancel
+// channel.
+type Config struct {
+	Seed   int64
+	Cancel <-chan struct{}
+}
+
+// Spin never consults the capability it was handed.
+func Spin(cfg Config) int {
+	n := 0
+	for { // want "unbounded loop in exported Spin"
+		n++
+		if n > 1000 {
+			return n
+		}
+	}
+}
+
+// Busy is a condition-only loop: statically unbounded too.
+func Busy(done chan struct{}, ready func() bool) {
+	for !ready() { // want "unbounded loop in exported Busy"
+	}
+}
+
+// Poll consults the cancel channel each pass: accepted.
+func Poll(cfg Config) int {
+	n := 0
+	for {
+		select {
+		case <-cfg.Cancel:
+			return n
+		default:
+		}
+		n++
+	}
+}
+
+// Wait polls the context: accepted.
+func Wait(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// Handoff passes the capability to a callee inside the loop, which
+// the deliberately loose "references it" rule accepts.
+func Handoff(cfg Config, step func(Config) bool) {
+	for {
+		if step(cfg) {
+			return
+		}
+	}
+}
+
+// Counted loops carry their bound in the syntax: accepted.
+func Counted(cfg Config) int {
+	n := 0
+	for i := 0; i < 100; i++ {
+		n += i
+	}
+	return n
+}
+
+// NoCapability has nothing to poll: out of scope.
+func NoCapability(limit int) int {
+	n := 0
+	for {
+		n++
+		if n >= limit {
+			return n
+		}
+	}
+}
+
+// unexported functions are not part of the exported contract.
+func spin(cfg Config) {
+	for {
+	}
+}
+
+// Suppressed documents why its loop needs no poll point.
+func Suppressed(cfg Config) int {
+	n := 0
+	//sadplint:ignore cancelpoll fixture exercising the suppression path
+	for {
+		n++
+		if n > 10 {
+			return n
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/detclock"
+	"repro/internal/analyzers/lint/linttest"
+)
+
+func TestDetclock(t *testing.T) {
+	linttest.Run(t, "testdata/detfixture", "example.org/detfixture", detclock.Analyzer)
+}
+
+// The same clock-ridden fixture under an ordinary package path must
+// be silent: detclock only polices the deterministic packages.
+func TestDetclockSilentOutsideDeterministicPackages(t *testing.T) {
+	linttest.RunExpectClean(t, "testdata/detfixture", "example.org/ordinary", detclock.Analyzer)
+}

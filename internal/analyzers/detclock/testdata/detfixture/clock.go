@@ -1,0 +1,47 @@
+// Package detfixture exercises detclock under a deterministic
+// package path.
+package detfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice.
+func Elapsed() time.Duration {
+	start := time.Now()      // want "time.Now in deterministic package"
+	return time.Since(start) // want "time.Since in deterministic package"
+}
+
+// Remaining converts a deadline via the clock.
+func Remaining(dl time.Time) time.Duration {
+	return time.Until(dl) // want "time.Until in deterministic package"
+}
+
+// Jitter draws from the process-global source.
+func Jitter() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}
+
+// Shuffle mutates via the global source too.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+// Seeded threads an explicit seed: the constructors and the methods
+// of the resulting generator are allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Duration arithmetic without a clock read is fine.
+func Budgeted(budget time.Duration) time.Duration {
+	return budget / 2
+}
+
+// Suppressed documents a deliberate clock read.
+func Suppressed() time.Time {
+	//sadplint:ignore detclock fixture exercising the suppression path
+	return time.Now()
+}

@@ -1,0 +1,19 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/detmap"
+	"repro/internal/analyzers/lint/linttest"
+)
+
+func TestDetmap(t *testing.T) {
+	linttest.Run(t, "testdata/detfixture", "example.org/detfixture", detmap.Analyzer)
+}
+
+// TestDetmapSilentOutsideDeterministicPackages type-checks the same
+// fixture under a package path that is not on the deterministic list:
+// detmap must not report anything there, want comments or not.
+func TestDetmapSilentOutsideDeterministicPackages(t *testing.T) {
+	linttest.RunExpectClean(t, "testdata/detfixture", "example.org/ordinary", detmap.Analyzer)
+}

@@ -1,0 +1,120 @@
+// Package detfixture exercises detmap. The import path the test
+// assigns contains "detfixture", so the determinism analyzers treat
+// it exactly like one of the routing packages.
+package detfixture
+
+import (
+	"maps"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Keys feeds map range order straight into a result slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map in deterministic package"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum is a commutative fold: order-insensitive, accepted.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SortedKeys collects then sorts in the same block: the sort launders
+// the collection order, accepted.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Max keeps a running extremum: permutation-invariant, accepted.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if best < v {
+			best = v
+		}
+	}
+	return best
+}
+
+// Transfer writes into map slots keyed by the range key: distinct
+// keys land in distinct slots, accepted.
+func Transfer(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Justified asserts the order genuinely does not matter.
+func Justified(m map[string]int) []string {
+	var out []string
+	//sadplint:ordered fixture: consumer treats the result as a set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Suppressed uses the ignore grammar instead.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	//sadplint:ignore detmap fixture exercising the suppression path
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TwoWay selects among two ready channels: the runtime picks
+// uniformly at random.
+func TwoWay(a, b chan int) int {
+	select { // want "select with 2 comm cases"
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// Poll is a single-case select with default: deterministic, accepted.
+func Poll(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}
+
+// SyncRange iterates a sync.Map in unspecified order.
+func SyncRange(m *sync.Map) int {
+	n := 0
+	m.Range(func(k, v any) bool { // want "sync.Map.Range"
+		n++
+		return true
+	})
+	return n
+}
+
+// RawKeys consumes the randomized maps.Keys sequence directly.
+func RawKeys(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m)) // want "maps.Keys"
+}
+
+// WrappedKeys is the idiom the diagnostic recommends: accepted.
+func WrappedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}

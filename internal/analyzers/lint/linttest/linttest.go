@@ -1,0 +1,176 @@
+// Package linttest is a self-contained analog of
+// golang.org/x/tools/go/analysis/analysistest (which cannot be
+// vendored here): it runs one analyzer over a fixture directory and
+// compares the diagnostics against `// want "regexp"` comments placed
+// on the lines where they are expected. A line may carry several
+// quoted patterns; every diagnostic must match a want and every want
+// must be matched by a diagnostic.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/lint"
+)
+
+var (
+	// Not anchored at the comment start: a want may ride at the end of
+	// a meaningful comment (e.g. after a `guarded by` annotation).
+	wantLineRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantPatRe  = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type want struct {
+	re  *regexp.Regexp
+	raw string
+	met bool
+}
+
+// Run analyzes the fixture directory as one package under the given
+// import path (the path matters: detmap/detclock only fire inside
+// deterministic package paths, which any path containing "detfixture"
+// is) and verifies the diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, dir, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, diags := analyze(t, fset, dir, pkgPath, a)
+	wants, keys := collectWants(t, fset, files)
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.met && w.re.MatchString(d.Message) {
+				w.met = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.met {
+				t.Errorf("no diagnostic at %s matched %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// RunExpectClean analyzes the fixture like Run but asserts the
+// analyzer reports nothing, ignoring want comments. It exists for
+// package-path-sensitive analyzers: the same violation-laden fixture
+// must be silent under a non-deterministic import path.
+func RunExpectClean(t *testing.T, dir, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	_, diags := analyze(t, fset, dir, pkgPath, a)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+}
+
+// analyze parses, type-checks and runs the analyzer over the fixture
+// as one package named pkgPath.
+func analyze(t *testing.T, fset *token.FileSet, dir, pkgPath string, a *lint.Analyzer) ([]*ast.File, []lint.Diagnostic) {
+	t.Helper()
+	files, imports := parseFixture(t, fset, dir)
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var err error
+		exports, err = lint.LoadExportMap(dir, imports...)
+		if err != nil {
+			t.Fatalf("linttest: export data for %v: %v", imports, err)
+		}
+	}
+	tpkg, info, err := lint.Check(pkgPath, fset, files, lint.ExportImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("linttest: type-checking %s: %v", dir, err)
+	}
+	pkg := &lint.Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return files, diags
+}
+
+// parseFixture parses every .go file of dir and returns the files
+// plus the sorted union of their import paths.
+func parseFixture(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err == nil {
+				seen[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+	imports := make([]string, 0, len(seen))
+	for p := range seen {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	return files, imports
+}
+
+// collectWants extracts the want expectations, keyed file:line, with
+// the keys returned in deterministic order for reporting.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) (map[string][]*want, []string) {
+	t.Helper()
+	wants := map[string][]*want{}
+	var keys []string
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantLineRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, pm := range wantPatRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("linttest: bad want pattern %q at %v: %v", pm[1], pos, err)
+					}
+					if wants[key] == nil {
+						keys = append(keys, key)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: pm[1]})
+				}
+			}
+		}
+	}
+	sort.Strings(keys)
+	return wants, keys
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the command-line protocol `go vet -vettool=X`
+// requires of X (mirrored from the unitchecker vendored in GOROOT):
+//
+//	X -V=full    print an executable fingerprint for build caching
+//	X -flags     print the tool's flag schema as JSON
+//	X foo.cfg    analyze the single compilation unit described by the
+//	             JSON config file, print diagnostics, exit non-zero
+//	             if any were found
+//
+// The .cfg carries the file set and an import → export-data map, so
+// unit mode needs no `go list` round trips of its own.
+
+// unitConfig is the JSON compilation-unit description `go vet` hands
+// the tool (unitchecker.Config's wire format).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunUnit analyzes the compilation unit described by cfgFile and
+// returns its diagnostics. The VetxOutput facts file is always
+// written (empty — sadplint's analyzers are package-local and export
+// no facts) because `go vet` treats it as a required build artifact.
+func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("sadplint has no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil // the compiler will report it
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := ExportImporter(fset, cfg.PackageFile)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImp.Import(path)
+	})
+	pkg, info, err := Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunAnalyzers([]*Package{{
+		PkgPath: cfg.ImportPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   pkg,
+		Info:    info,
+	}}, analyzers)
+}
+
+// PrintVersion implements -V=full: the fingerprint is a content hash
+// of the executable, so editing an analyzer invalidates `go vet`'s
+// result cache.
+func PrintVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel sadplint buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+}
+
+// PrintFlagsJSON implements -flags: sadplint exposes no per-analyzer
+// flags to `go vet`.
+func PrintFlagsJSON() {
+	fmt.Println("[]")
+}

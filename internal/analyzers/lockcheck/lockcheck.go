@@ -1,0 +1,417 @@
+// Package lockcheck mechanically enforces the `// guarded by <mu>`
+// field annotations of the service layer. The race detector only
+// catches a forgotten lock when a test happens to race the two
+// accesses; lockcheck makes the discipline a compile-time property:
+// every read or write of an annotated field must sit inside a window
+// where the named sibling mutex of the same base expression is held.
+//
+// The analysis is intra-procedural and deliberately pragmatic:
+//
+//   - `x.mu.Lock()` / `x.mu.RLock()` open a window for base `x`;
+//     `x.mu.Unlock()` / `x.mu.RUnlock()` close it. A deferred Unlock
+//     keeps the window open to the end of the function.
+//   - Writes require the write lock; reads accept either.
+//   - A branch that unlocks leaks the unlock to the code after it
+//     (conservative), but a lock taken inside a branch does not leak
+//     out, and a branch ending in return/break/continue discards its
+//     lock-state changes (the `if done { mu.Unlock(); return }`
+//     idiom).
+//   - Function literals are analyzed with an empty lock set: a
+//     closure may run after the enclosing window closed.
+//   - Methods whose name ends in "Locked" assert the caller holds
+//     every guard.
+//   - Fresh locals built by a new*/New* constructor in the same
+//     function are exempt: the object is not shared yet.
+//
+// Escapes that the heuristics cannot see are annotated
+// `//sadplint:ignore lockcheck <reason>` — with the reason mandatory.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analyzers/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc:  "reads/writes of `// guarded by <mu>` fields must hold the named mutex",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockKind distinguishes the write lock from the read lock.
+type lockKind int
+
+const (
+	heldWrite lockKind = iota + 1
+	heldRead
+)
+
+func run(pass *lint.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:   pass,
+				guards: guards,
+				fresh:  freshLocals(pass, fd),
+			}
+			held := map[string]lockKind{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				c.assumeHeld = true
+			}
+			c.walkStmts(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to the name of their
+// guarding sibling field. Annotations naming a non-existent sibling
+// are themselves reported.
+func collectGuards(pass *lint.Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				guard := guardAnnotation(fld)
+				if guard == "" {
+					continue
+				}
+				if !fieldNames[guard] {
+					pass.Reportf(fld.Pos(), "`guarded by %s` names no sibling field of this struct", guard)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// freshLocals returns the objects of local variables initialized from
+// a new*/New* constructor call or a composite literal inside fd: the
+// value cannot be shared with another goroutine at that point, so
+// pre-publication initialization may touch guarded fields lock-free.
+func freshLocals(pass *lint.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok.String() != ":=" || len(asg.Lhs) == 0 || len(asg.Rhs) != 1 {
+			return true
+		}
+		if !freshExpr(asg.Rhs[0]) {
+			return true
+		}
+		for _, l := range asg.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func freshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		name := ""
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		return strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New")
+	}
+	return false
+}
+
+type checker struct {
+	pass       *lint.Pass
+	guards     map[types.Object]string
+	fresh      map[types.Object]bool
+	assumeHeld bool
+}
+
+// walkStmts visits statements in source order, threading the held-
+// lock set through lock and unlock calls.
+func (c *checker) walkStmts(list []ast.Stmt, held map[string]lockKind) {
+	for _, s := range list {
+		c.walkStmt(s, held)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held map[string]lockKind) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, held)
+	case *ast.ExprStmt:
+		if key, kind, ok := lockOp(c.pass, s.X); ok {
+			if kind == 0 {
+				delete(held, key)
+			} else {
+				held[key] = kind
+			}
+			return
+		}
+		c.checkExpr(s.X, held, false)
+	case *ast.DeferStmt:
+		// A deferred Unlock leaves the window open for the rest of the
+		// function; other deferred work is checked under the current
+		// window (it usually runs while the lock is still held only in
+		// the Lock();defer Unlock() idiom, which this models).
+		if _, _, ok := lockOp(c.pass, s.Call); ok {
+			return
+		}
+		c.checkExpr(s.Call, held, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.checkExpr(r, held, false)
+		}
+		for _, l := range s.Lhs {
+			c.checkExpr(l, held, true)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, held, true)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held, false)
+		c.walkBranch(s.Body, held)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			c.walkBranch(e, held)
+		case *ast.IfStmt:
+			c.walkStmt(e, held)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held, false)
+		}
+		if s.Post != nil {
+			c.walkStmt(s.Post, held)
+		}
+		c.walkBranch(s.Body, held)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held, false)
+		c.walkBranch(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held, false)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.checkExpr(e, held, false)
+				}
+				c.walkCase(cl.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.walkStmt(s.Assign, held)
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walkCase(cl.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				if cl.Comm != nil {
+					c.walkStmt(cl.Comm, held)
+				}
+				c.walkCase(cl.Body, held)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held, false)
+		}
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, held, false)
+		c.checkExpr(s.Value, held, false)
+	case *ast.GoStmt:
+		c.checkExpr(s.Call, held, false)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.checkExpr(e, held, false)
+				return false
+			}
+			return true
+		})
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held)
+	}
+}
+
+// walkBranch analyzes a nested block on a copy of the lock state:
+// unlocks performed by a fall-through branch propagate to the code
+// after it, locks do not, and a terminating branch (return/break/
+// continue/panic last) leaks nothing.
+func (c *checker) walkBranch(body *ast.BlockStmt, held map[string]lockKind) {
+	c.walkCase(body.List, held)
+}
+
+func (c *checker) walkCase(list []ast.Stmt, held map[string]lockKind) {
+	inner := make(map[string]lockKind, len(held))
+	for k, v := range held {
+		inner[k] = v
+	}
+	c.walkStmts(list, inner)
+	if terminates(list) {
+		return
+	}
+	for k := range held {
+		if _, ok := inner[k]; !ok {
+			delete(held, k)
+		}
+	}
+}
+
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockOp recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() calls on a
+// sync.Mutex or sync.RWMutex and returns the held-set key ("x.mu")
+// and the resulting kind (0 for unlocks).
+func lockOp(pass *lint.Pass, e ast.Expr) (key string, kind lockKind, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "TryLock":
+		return types.ExprString(sel.X), heldWrite, true
+	case "RLock", "TryRLock":
+		return types.ExprString(sel.X), heldRead, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), 0, true
+	}
+	return "", 0, false
+}
+
+// checkExpr scans an expression for guarded-field selections. write
+// applies to the top-level expression only; nested selections are
+// reads.
+func (c *checker) checkExpr(e ast.Expr, held map[string]lockKind, write bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure may outlive the current window: analyze with an
+			// empty lock set.
+			c.walkStmts(n.Body.List, map[string]lockKind{})
+			return false
+		case *ast.SelectorExpr:
+			c.checkSelector(n, held, write && n == e)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkSelector(sel *ast.SelectorExpr, held map[string]lockKind, write bool) {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	guard, ok := c.guards[selection.Obj()]
+	if !ok {
+		return
+	}
+	if c.assumeHeld {
+		return
+	}
+	if id, isIdent := sel.X.(*ast.Ident); isIdent {
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.fresh[obj] {
+			return
+		}
+	}
+	key := types.ExprString(sel.X) + "." + guard
+	kind := held[key]
+	switch {
+	case kind == 0:
+		c.pass.Reportf(sel.Pos(), "%s is guarded by %s.%s but accessed without holding it", types.ExprString(sel), types.ExprString(sel.X), guard)
+	case write && kind == heldRead:
+		c.pass.Reportf(sel.Pos(), "%s is written while %s.%s is only read-locked (RLock): writes need the write lock", types.ExprString(sel), types.ExprString(sel.X), guard)
+	}
+}

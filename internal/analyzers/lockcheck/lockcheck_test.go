@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/lint/linttest"
+	"repro/internal/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, "testdata/locks", "example.org/lockfixture", lockcheck.Analyzer)
+}

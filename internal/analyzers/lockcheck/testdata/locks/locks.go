@@ -1,0 +1,99 @@
+// Package lockfixture exercises lockcheck's `guarded by` contract.
+package lockfixture
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	name  string
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+}
+
+func newStore() *store {
+	// Fresh locals from a constructor are not shared yet: exempt.
+	s := &store{items: map[string]int{}}
+	s.hits = 0
+	return s
+}
+
+// Get holds the lock across both accesses: accepted.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.items[k]
+}
+
+// Name is unannotated state: out of scope.
+func (s *store) Name() string {
+	return s.name
+}
+
+// Size reads a guarded field with no lock in sight.
+func (s *store) Size() int {
+	return len(s.items) // want "s.items is guarded by s.mu but accessed without holding it"
+}
+
+// Reset writes without the lock.
+func (s *store) Reset() {
+	s.items = map[string]int{} // want "s.items is guarded by s.mu but accessed without holding it"
+}
+
+// PutEarlyUnlock accesses a guarded field after closing the window.
+func (s *store) PutEarlyUnlock(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+	s.hits++ // want "s.hits is guarded by s.mu but accessed without holding it"
+}
+
+// branchUnlock models the unlock-and-return idiom: the terminating
+// branch discards its unlock, so the fall-through access stays legal.
+func (s *store) branchUnlock(k string) int {
+	s.mu.Lock()
+	if len(s.items) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.items[k]
+	s.mu.Unlock()
+	return v
+}
+
+// sizeLocked asserts its caller holds the guard via the *Locked
+// naming convention.
+func (s *store) sizeLocked() int {
+	return len(s.items)
+}
+
+// Escape documents an access the heuristics cannot see.
+func (s *store) Escape() int {
+	//sadplint:ignore lockcheck fixture: single-threaded caller owns the store exclusively
+	return s.hits
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+// Read takes the read lock: reads accept either kind.
+func (g *gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Bump writes under the read lock.
+func (g *gauge) Bump() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val++ // want "g.val is written while g.mu is only read-locked"
+}
+
+type orphan struct {
+	n int // guarded by lock // want "names no sibling field"
+}
+
+func (o *orphan) N() int { return o.n }

@@ -30,6 +30,7 @@ package decompose
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/coloring"
 	"repro/internal/geom"
@@ -301,8 +302,20 @@ func segEnd(horizontal bool, s Segment, lo bool) geom.Pt {
 func drcLayer(g *grid.Grid, l int, m Masks, arms map[geom.Pt]uint8) []Violation {
 	var out []Violation
 	// Rule 1 (hard): forbidden corners. Exactly-two perpendicular arms
-	// form an L; the coloring tables decide decomposability.
-	for p, mask := range arms {
+	// form an L; the coloring tables decide decomposability. Row-major
+	// order keeps the violation list reproducible.
+	armPts := make([]geom.Pt, 0, len(arms))
+	for p := range arms {
+		armPts = append(armPts, p)
+	}
+	sort.Slice(armPts, func(i, j int) bool {
+		if armPts[i].Y != armPts[j].Y {
+			return armPts[i].Y < armPts[j].Y
+		}
+		return armPts[i].X < armPts[j].X
+	})
+	for _, p := range armPts {
+		mask := arms[p]
 		if bits.OnesCount8(mask) != 2 {
 			continue
 		}
@@ -318,12 +331,19 @@ func drcLayer(g *grid.Grid, l int, m Masks, arms map[geom.Pt]uint8) []Violation 
 			})
 		}
 	}
-	// Rule 2 (hard): mandrel end-to-end gap ≥ 2 on the same track.
+	// Rule 2 (hard): mandrel end-to-end gap ≥ 2 on the same track,
+	// scanned in ascending track order for a reproducible report.
 	byTrack := map[int][]Segment{}
+	tracks := []int{}
 	for _, s := range m.Mandrel {
+		if byTrack[s.Track] == nil {
+			tracks = append(tracks, s.Track)
+		}
 		byTrack[s.Track] = append(byTrack[s.Track], s)
 	}
-	for _, segs := range byTrack {
+	sort.Ints(tracks)
+	for _, t := range tracks {
+		segs := byTrack[t]
 		for i := 0; i < len(segs); i++ {
 			for j := i + 1; j < len(segs); j++ {
 				gap := segGap(segs[i], segs[j])

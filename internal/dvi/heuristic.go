@@ -2,6 +2,7 @@ package dvi
 
 import (
 	"container/heap"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/tpl"
@@ -65,10 +66,16 @@ func (in *Instance) SolveHeuristic(p HeurParams) *Solution {
 // stores the colors.
 func (in *Instance) precolor(s *Solution) {
 	byLayer := map[int][]int{}
+	layers := []int{}
 	for i, v := range in.Vias {
+		if byLayer[v.Layer()] == nil {
+			layers = append(layers, v.Layer())
+		}
 		byLayer[v.Layer()] = append(byLayer[v.Layer()], i)
 	}
-	for _, idxs := range byLayer {
+	sort.Ints(layers)
+	for _, vl := range layers {
+		idxs := byLayer[vl]
 		pts := make([]geom.Pt, len(idxs))
 		for k, i := range idxs {
 			pts[k] = in.Vias[i].Pos()

@@ -2,6 +2,7 @@ package dvi
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/geom"
@@ -118,11 +119,34 @@ func (in *Instance) BuildILP() (*ilp.Model, *ilpVars) {
 			add(via.Layer(), c, siteRef{i, j})
 		}
 	}
+	// Constraint rows are emitted in (layer, row-major site) order so
+	// the model — and with it the branch-and-bound path and node
+	// counts — is identical run to run.
+	layers := make([]int, 0, len(byLayer))
+	for vl := range byLayer {
+		layers = append(layers, vl)
+	}
+	sort.Ints(layers)
+	sites := make(map[int][]geom.Pt, len(byLayer))
+	for _, vl := range layers {
+		ps := make([]geom.Pt, 0, len(byLayer[vl]))
+		for p := range byLayer[vl] {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].Y != ps[b].Y {
+				return ps[a].Y < ps[b].Y
+			}
+			return ps[a].X < ps[b].X
+		})
+		sites[vl] = ps
+	}
 
 	// C2: conflicting DVICs (same site, same layer, different vias)
 	// cannot both be inserted.
-	for vl := range byLayer {
-		for _, refs := range byLayer[vl] {
+	for _, vl := range layers {
+		for _, p := range sites[vl] {
+			refs := byLayer[vl][p]
 			for a := 0; a < len(refs); a++ {
 				for b := a + 1; b < len(refs); b++ {
 					ra, rb := refs[a], refs[b]
@@ -148,8 +172,9 @@ func (in *Instance) BuildILP() (*ilp.Model, *ilpVars) {
 		}
 		return [2]int{a, b}
 	}
-	for vl := range byLayer {
-		for p, refs := range byLayer[vl] {
+	for _, vl := range layers {
+		for _, p := range sites[vl] {
+			refs := byLayer[vl][p]
 			for _, off := range tpl.ConflictOffsets {
 				q := p.Add(off.X, off.Y)
 				for _, ra := range refs {

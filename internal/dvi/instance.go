@@ -2,6 +2,7 @@ package dvi
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -126,12 +127,20 @@ func (s *Solution) Validate(in *Instance) error {
 		}
 		all = append(all, colored{st, rc})
 	}
-	// Pairwise coloring legality within each via layer.
+	// Pairwise coloring legality within each via layer, in ascending
+	// layer order so a multi-violation solution always reports the
+	// same error.
 	byLayer := map[int][]colored{}
+	vls := []int{}
 	for _, c := range all {
+		if byLayer[c.vl] == nil {
+			vls = append(vls, c.vl)
+		}
 		byLayer[c.vl] = append(byLayer[c.vl], c)
 	}
-	for vl, cs := range byLayer {
+	sort.Ints(vls)
+	for _, vl := range vls {
+		cs := byLayer[vl]
 		pos := map[geom.Pt]int8{}
 		for _, c := range cs {
 			pos[c.p] = c.color

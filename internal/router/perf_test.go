@@ -114,7 +114,7 @@ func TestWorkersDeterminism(t *testing.T) {
 	nl := randomNetlist("wrk", 24, 24, 40, 3) // dense: baseline FVPs exist
 	mk := func(workers int) *Router {
 		cfg := Config{
-			Scheme: coloring.Scheme{Type: coloring.SIM},
+			Scheme:      coloring.Scheme{Type: coloring.SIM},
 			ConsiderDVI: true, ConsiderTPL: true,
 			Seed: 5, Workers: workers,
 		}

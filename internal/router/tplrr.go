@@ -39,6 +39,7 @@ func (rt *Router) removeTPLViolations() error {
 	P := rt.cfg.Params
 	var tplDeadline time.Time
 	if rt.cfg.TPLBudget > 0 {
+		//sadplint:ignore detclock TPLBudget is an explicit wall-clock degradation knob; zero (the default) keeps the phase fully deterministic
 		tplDeadline = time.Now().Add(rt.cfg.TPLBudget)
 	}
 
@@ -87,6 +88,7 @@ func (rt *Router) removeTPLViolations() error {
 		}
 		// Phase budget expired: return the congestion-free best-so-far
 		// with an honest full recount of the remaining FVP windows.
+		//sadplint:ignore detclock guarded by TPLBudget > 0, the explicit wall-clock degradation knob
 		if !tplDeadline.IsZero() && time.Now().After(tplDeadline) {
 			remaining := 0
 			for _, lv := range rt.g.Vias {
@@ -101,6 +103,7 @@ func (rt *Router) removeTPLViolations() error {
 		// Drop stale FVP entries; pick the lexicographically first live
 		// one for determinism.
 		var pick *fvpKey
+		//sadplint:ordered stale entries are deleted (order-free) and the pick is the fvpKeyLess minimum, independent of visit order
 		for k := range fvps {
 			if !rt.g.Vias[k.vl].WindowAt(k.origin).IsFVP() {
 				delete(fvps, k)

@@ -21,8 +21,8 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 	fault *fault.Injector
 }
 

@@ -25,14 +25,14 @@ type job struct {
 	netlistText string
 
 	mu       sync.Mutex
-	status   api.JobStatus
-	errMsg   string
-	result   json.RawMessage
-	cacheHit bool
-	terminal bool
+	status   api.JobStatus   // guarded by mu
+	errMsg   string          // guarded by mu
+	result   json.RawMessage // guarded by mu
+	cacheHit bool            // guarded by mu
+	terminal bool            // guarded by mu
 	// attempt counts executions of this job (1 on the first run); it
 	// survives restarts via the journal's running records and bounds
-	// both panic retries and crash-recovery re-enqueues.
+	// both panic retries and crash-recovery re-enqueues. guarded by mu
 	attempt int
 
 	done chan struct{}
@@ -128,8 +128,8 @@ func (j *job) response() api.JobResponse {
 type jobStore struct {
 	mu    sync.Mutex
 	max   int
-	jobs  map[string]*job
-	order []string // insertion order, for eviction scans
+	jobs  map[string]*job // guarded by mu
+	order []string        // guarded by mu; insertion order, for eviction scans
 }
 
 func newJobStore(max int) *jobStore {

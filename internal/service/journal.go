@@ -67,7 +67,7 @@ type journalRecord struct {
 // caller saw succeed survives kill -9.
 type journal struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     *os.File // guarded by mu
 	path  string
 	fault *fault.Injector
 }

@@ -146,9 +146,9 @@ type Server struct {
 	fault   *fault.Injector
 
 	mu          sync.Mutex
-	closed      bool            // no new submissions; queue is closed
-	running     map[string]*job // key → queued-or-running job (single-flight)
-	quarantined map[string]quarInfo
+	closed      bool                // guarded by mu; no new submissions; queue is closed
+	running     map[string]*job     // guarded by mu; key → queued-or-running job (single-flight)
+	quarantined map[string]quarInfo // guarded by mu
 
 	wg       sync.WaitGroup // worker pool
 	inflight atomic.Int64
@@ -236,6 +236,7 @@ func (s *Server) recover(jobs []*replayedJob) error {
 			j.fail(rj.errMsg)
 		case api.StatusQuarantined:
 			j.quarantine(rj.errMsg)
+			//sadplint:ignore lockcheck recover runs from New before startWorkers and the HTTP listener; no other goroutine exists yet
 			s.quarantined[rj.key] = quarInfo{id: rj.id, msg: rj.errMsg}
 		default:
 			// Live job: re-enqueue unless the attempt budget is spent
@@ -259,6 +260,7 @@ func (s *Server) recover(jobs []*replayedJob) error {
 			}
 			j.nl = nl
 			j.netlistText = rj.netlist
+			//sadplint:ignore lockcheck recover runs from New before startWorkers and the HTTP listener; no other goroutine exists yet
 			s.running[rj.key] = j
 			s.queue <- j
 			s.metrics.Replayed.Add(1)

@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"sort"
+
 	"repro/internal/dvi"
 	"repro/internal/geom"
 )
@@ -96,8 +98,17 @@ func (c *checker) checkDVI(in *dvi.Instance, sol *dvi.Solution) {
 		}
 		byLayer[cc.vl][cc.p] = append(byLayer[cc.vl][cc.p], cc.color)
 	}
-	for vl, pos := range byLayer {
-		for p, cols := range pos {
+	// Conflicts are reported in (layer, row-major site) order so the
+	// report diffs cleanly between runs.
+	vls := make([]int, 0, len(byLayer))
+	for vl := range byLayer { //sadplint:ordered keys are sorted on the next line
+		vls = append(vls, vl)
+	}
+	sort.Ints(vls)
+	for _, vl := range vls {
+		pos := byLayer[vl]
+		for _, p := range sortedPtKeys(pos) {
+			cols := pos[p]
 			for _, col := range cols {
 				for _, off := range conflictOffsets {
 					q := p.Add(off.X, off.Y)

@@ -99,6 +99,7 @@ func patternColorable3(mask uint16) bool {
 // from the verifier's own via ownership map, in row-major order.
 func (c *checker) viaLayerSites() [][]geom.Pt {
 	layers := make([][]geom.Pt, c.nl.NumLayers-1)
+	//sadplint:ordered per-layer slices are sorted row-major just below
 	for v := range c.viaOwner {
 		if v.Layer >= 0 && v.Layer < len(layers) {
 			layers[v.Layer] = append(layers[v.Layer], v.Pt2())

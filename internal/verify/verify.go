@@ -32,6 +32,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/coloring"
@@ -478,8 +479,8 @@ func (c *checker) checkGeometry() {
 			continue
 		}
 		root := nd.find(0)
-		for p, i := range nd.pts {
-			if nd.find(i) != root {
+		for _, p := range sortedPt3Keys(nd.pts) {
+			if nd.find(nd.pts[p]) != root {
 				c.rep.add(Disconnected, id, p, "metal at %v not connected to the rest of the net", p)
 				break
 			}
@@ -487,18 +488,20 @@ func (c *checker) checkGeometry() {
 	}
 
 	// Shorts: metal points and via sites with more than one owner.
-	for p, owners := range c.metalOwner {
-		if len(owners) > 1 {
+	metalPts := sortedPt3Keys(c.metalOwner)
+	for _, p := range metalPts {
+		if owners := c.metalOwner[p]; len(owners) > 1 {
 			c.rep.add(MetalShort, owners[0], p, "nets %v share metal point %v", owners, p)
 		}
 	}
-	for v, owners := range c.viaOwner {
-		if len(owners) > 1 {
+	for _, v := range sortedPt3Keys(c.viaOwner) {
+		if owners := c.viaOwner[v]; len(owners) > 1 {
 			c.rep.add(ViaShort, owners[0], v, "nets %v share via site %v", owners, v)
 		}
 	}
 	// Pin obstructions: a net's metal on layer 0 over a foreign pin.
-	for p, owners := range c.metalOwner {
+	for _, p := range metalPts {
+		owners := c.metalOwner[p]
 		if p.Layer != 0 {
 			continue
 		}
@@ -512,6 +515,43 @@ func (c *checker) checkGeometry() {
 			}
 		}
 	}
+}
+
+// sortedPt3Keys returns m's keys in (layer, row-major) order. Reports
+// are emitted by key order, so they must not depend on map iteration:
+// the stress harness and the service's fault reproducers diff reports
+// between runs.
+func sortedPt3Keys[V any](m map[geom.Pt3]V) []geom.Pt3 {
+	keys := make([]geom.Pt3, 0, len(m))
+	for k := range m { //sadplint:ordered keys are sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return keys
+}
+
+// sortedPtKeys is sortedPt3Keys for single-layer keys.
+func sortedPtKeys[V any](m map[geom.Pt]V) []geom.Pt {
+	keys := make([]geom.Pt, 0, len(m))
+	for k := range m { //sadplint:ordered keys are sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Y != keys[j].Y {
+			return keys[i].Y < keys[j].Y
+		}
+		return keys[i].X < keys[j].X
+	})
+	return keys
 }
 
 func containsNet(s []int32, v int32) bool {
@@ -533,7 +573,8 @@ func (c *checker) checkTurns() {
 		if !nd.valid {
 			continue
 		}
-		for p, arms := range nd.arms {
+		for _, p := range sortedPt3Keys(nd.arms) {
+			arms := nd.arms[p]
 			h := arms & (armE | armW)
 			v := arms & (armN | armS)
 			if h == 0 || v == 0 {
