@@ -1,17 +1,25 @@
 // Command benchjson runs the routing-only benchmark (the workload of
-// BenchmarkRoutingOnly, extended to the whole suite) and records the
+// BenchmarkRoutingOnly, extended to a whole suite) and records the
 // result as JSON, so performance numbers accumulate as comparable
 // artifacts instead of scrollback.
 //
 // Usage:
 //
-//	benchjson [-label after] [-iters 3] [-workers 1] [-out BENCH_1.json]
+//	benchjson [-suite tiny|scaled|full] [-scale 4] [-label after]
+//	          [-iters 3] [-workers 1] [-out BENCH_1.json]
+//	          [-baseline BENCH_1.json] [-tolerance 3]
 //
 // Without -out it writes the first free BENCH_<n>.json in the current
 // directory. When -out names an existing file the new run is appended
 // to its "runs" list — a before/after trajectory lives in one file.
-// The suite is the tiny suite by default; REPRO_BENCH_SCALE=N selects
-// the Table I circuits shrunk by factor N, as in the Go benchmarks.
+//
+// With -baseline the command is a regression gate: after measuring it
+// compares against the baseline file's most recent run of the same
+// suite and worker count. Wirelength and via counts must match exactly
+// (routing is deterministic; a mismatch is a correctness regression,
+// not noise) and the suite's total routing time must stay within
+// -tolerance times the baseline, or the command exits non-zero. CI
+// runs the tiny suite this way on every push.
 package main
 
 import (
@@ -59,13 +67,20 @@ type Circuit struct {
 }
 
 func main() {
+	suiteFlag := flag.String("suite", "", "suite to run: tiny, scaled or full (default tiny, or REPRO_BENCH_SCALE)")
+	scale := flag.Int("scale", 4, "shrink factor for -suite scaled")
 	label := flag.String("label", "run", "label of this run (e.g. seed, after)")
 	iters := flag.Int("iters", 3, "routing repetitions per circuit (minimum time is recorded)")
 	workers := flag.Int("workers", 1, "router Workers setting")
-	out := flag.String("out", "", "output file (default: first free BENCH_<n>.json)")
+	out := flag.String("out", "", "output file (default: first free BENCH_<n>.json; in gate mode empty means no file)")
+	baseline := flag.String("baseline", "", "gate mode: compare against this file's latest same-suite run")
+	tolerance := flag.Float64("tolerance", 3, "gate mode: allowed slowdown factor vs the baseline")
 	flag.Parse()
 
-	suite, suiteName := pickSuite()
+	suite, suiteName, err := pickSuite(*suiteFlag, *scale)
+	if err != nil {
+		fail(err)
+	}
 	run := Run{
 		Label:     *label,
 		Date:      time.Now().UTC().Format("2006-01-02"),
@@ -100,7 +115,44 @@ func main() {
 		fmt.Printf("%-8s %12d ns/route  WL %d  #Vias %d\n", c.Name, best.Nanoseconds(), wl, vias)
 	}
 
-	path := *out
+	if *out != "" || *baseline == "" {
+		if err := writeRun(*out, run); err != nil {
+			fail(err)
+		}
+	}
+	if *baseline != "" {
+		if err := gate(*baseline, run, *tolerance); err != nil {
+			fail(err)
+		}
+		fmt.Printf("gate ok: within %.1fx of baseline %s\n", *tolerance, *baseline)
+	}
+}
+
+func pickSuite(name string, scale int) ([]bench.Circuit, string, error) {
+	switch name {
+	case "tiny":
+		return bench.TinySuite(), "tiny", nil
+	case "scaled":
+		if scale < 1 {
+			return nil, "", fmt.Errorf("-scale must be >= 1, got %d", scale)
+		}
+		return bench.ScaledSuite(scale), fmt.Sprintf("scaled/%d", scale), nil
+	case "full":
+		return bench.Suite(), "full", nil
+	case "":
+		// Back-compat: the env knob predates the -suite flag.
+		if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+				return bench.ScaledSuite(n), fmt.Sprintf("scaled/%d", n), nil
+			}
+		}
+		return bench.TinySuite(), "tiny", nil
+	}
+	return nil, "", fmt.Errorf("unknown -suite %q (want tiny, scaled or full)", name)
+}
+
+// writeRun appends the run to path (or the first free BENCH_<n>.json).
+func writeRun(path string, run Run) error {
 	doc := File{Benchmark: "RoutingOnly"}
 	if path == "" {
 		for n := 1; ; n++ {
@@ -111,27 +163,63 @@ func main() {
 		}
 	} else if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &doc); err != nil {
-			fail(fmt.Errorf("existing %s: %w", path, err))
+			return fmt.Errorf("existing %s: %w", path, err)
 		}
 	}
 	doc.Runs = append(doc.Runs, run)
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("wrote %s (%d runs, total %d ns/route)\n", path, len(doc.Runs), run.TotalNsPerRoute)
+	return nil
 }
 
-func pickSuite() ([]bench.Circuit, string) {
-	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
-			return bench.ScaledSuite(n), fmt.Sprintf("scaled/%d", n)
+// gate compares the measured run against the most recent same-suite,
+// same-worker-count run in the baseline file. Metrics must be
+// identical; time may drift up to the tolerance factor (CI machines
+// are noisy — the gate exists to catch order-of-magnitude regressions,
+// not percent-level ones).
+func gate(path string, run Run, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var base *Run
+	for i := len(doc.Runs) - 1; i >= 0; i-- {
+		if doc.Runs[i].Suite == run.Suite && doc.Runs[i].Workers == run.Workers {
+			base = &doc.Runs[i]
+			break
 		}
 	}
-	return bench.TinySuite(), "tiny"
+	if base == nil {
+		return fmt.Errorf("baseline %s has no run with suite=%s workers=%d", path, run.Suite, run.Workers)
+	}
+	if len(base.Circuits) != len(run.Circuits) {
+		return fmt.Errorf("baseline run has %d circuits, measured %d", len(base.Circuits), len(run.Circuits))
+	}
+	for i, b := range base.Circuits {
+		c := run.Circuits[i]
+		if c.Name != b.Name {
+			return fmt.Errorf("circuit %d: baseline %s vs measured %s", i, b.Name, c.Name)
+		}
+		if c.Wirelength != b.Wirelength || c.Vias != b.Vias {
+			return fmt.Errorf("%s: metrics diverged from baseline (wl %d vs %d, vias %d vs %d) — routing is deterministic, this is a correctness regression",
+				c.Name, c.Wirelength, b.Wirelength, c.Vias, b.Vias)
+		}
+	}
+	if limit := int64(float64(base.TotalNsPerRoute) * tolerance); run.TotalNsPerRoute > limit {
+		return fmt.Errorf("suite took %d ns vs baseline %d ns — exceeds %.1fx tolerance",
+			run.TotalNsPerRoute, base.TotalNsPerRoute, tolerance)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -6,7 +6,8 @@
 //	sadprouted [-addr :8080] [-queue 64] [-workers 2] [-cache 128]
 //	           [-job-timeout 10m] [-drain-timeout 60s] [-addr-file f]
 //	           [-data-dir d] [-max-request-bytes n] [-max-attempts 2]
-//	           [-degrade] [-quiet]
+//	           [-degrade] [-quiet] [-pprof-addr 127.0.0.1:6060]
+//	           [-no-arena]
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /healthz,
 // GET /metrics. See the README "Serving" section for a curl
@@ -24,6 +25,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +53,8 @@ func run() int {
 	maxAttempts := flag.Int("max-attempts", 2, "execution attempts per job before quarantine/interruption")
 	degrade := flag.Bool("degrade", false, "enable deadline-driven degraded modes for every job by default")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off); bind to localhost, the profiles expose internals")
+	noArena := flag.Bool("no-arena", false, "disable per-worker router arenas (allocate each job's routing state fresh)")
 	flag.Parse()
 
 	logf := log.Printf
@@ -67,6 +71,7 @@ func run() int {
 		DataDir:          *dataDir,
 		MaxAttempts:      *maxAttempts,
 		DegradeByDefault: *degrade,
+		NoArena:          *noArena,
 		Logf:             logf,
 	})
 	if err != nil {
@@ -86,6 +91,25 @@ func run() int {
 		}
 	}
 	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	// The profiling endpoints live on their own listener, never on the
+	// API port: the API handler is a dedicated mux, so /debug/pprof is
+	// unreachable through it even though the pprof import registers on
+	// the default mux. Off unless -pprof-addr is set.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sadprouted: pprof listen: %v\n", err)
+			return 1
+		}
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("sadprouted: pprof server: %v", err)
+			}
+		}()
+		log.Printf("sadprouted: pprof on http://%s/debug/pprof/", pln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

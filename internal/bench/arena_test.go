@@ -1,0 +1,58 @@
+package bench
+
+// Steady-state allocation accounting for the arena path: a worker
+// routing the same-shaped jobs back to back must allocate at least an
+// order of magnitude less per job than the allocate-everything-fresh
+// path. The companion identity tests live in internal/router; this one
+// pins the memory claim of DESIGN.md §12 at the flow level.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/router"
+)
+
+func TestArenaAllocReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting, skipped in -short")
+	}
+	nl := Generate(TinySuite()[0])
+	spec := RunSpec{
+		Scheme:      coloring.SIM,
+		ConsiderDVI: true,
+		ConsiderTPL: true,
+		Method:      NoDVI, // routing-only: the claim is about the router's arena
+	}
+	ctx := context.Background()
+
+	cold := testing.AllocsPerRun(3, func() {
+		if _, _, err := RunContext(ctx, nl, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	arena := router.NewArena()
+	warmup, art, err := RunContextArena(ctx, nl, spec, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena.Release(art.Router)
+	warm := testing.AllocsPerRun(3, func() {
+		row, art, err := RunContextArena(ctx, nl, spec, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.WL != warmup.WL || row.Vias != warmup.Vias {
+			t.Fatalf("recycled run changed the solution: wl %d→%d vias %d→%d",
+				warmup.WL, row.WL, warmup.Vias, row.Vias)
+		}
+		arena.Release(art.Router)
+	})
+
+	t.Logf("allocs per routed job: fresh %.0f, arena %.0f (%.1fx reduction)", cold, warm, cold/warm)
+	if warm*10 > cold {
+		t.Fatalf("arena path allocates %.0f per job vs %.0f fresh — less than the promised 10x reduction", warm, cold)
+	}
+}

@@ -116,6 +116,11 @@ type RunSpec struct {
 	// alternative to the exact ILP (~500–670× faster at a small DV/UV
 	// cost), so the fallback is semantically principled.
 	Degrade bool `json:"degrade,omitempty"`
+	// Queue selects the search's priority-queue backend
+	// (router.Config.Queue). Output is bit-identical between backends;
+	// the knob exists for differential testing. Zero/absent = the
+	// default Dial bucket queue.
+	Queue router.QueueKind `json:"queue,omitempty"`
 	// Workers bounds the intra-router parallelism (router.Config
 	// Workers); routing output is identical for any value.
 	Workers int `json:"workers,omitempty"`
@@ -174,13 +179,25 @@ func Run(nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
 // additionally caps the DVI ILP's time limit. The returned error wraps
 // ctx.Err() when the context caused the abort.
 func RunContext(ctx context.Context, nl *netlist.Netlist, spec RunSpec) (Row, *Artifacts, error) {
+	return RunContextArena(ctx, nl, spec, nil)
+}
+
+// RunContextArena is RunContext with a router memory arena (may be
+// nil): the router reuses the arena's recycled allocations when grid
+// shapes match. The caller decides when the returned artifacts are no
+// longer referenced and releases them with arena.Release(art.Router);
+// this function never releases on its own. Output is bit-identical
+// with or without an arena.
+func RunContextArena(ctx context.Context, nl *netlist.Netlist, spec RunSpec, arena *router.Arena) (Row, *Artifacts, error) {
 	cfg := router.Config{
 		Scheme:      coloring.Scheme{Type: spec.Scheme},
 		ConsiderDVI: spec.ConsiderDVI,
 		ConsiderTPL: spec.ConsiderTPL,
 		Params:      spec.Params,
+		Queue:       spec.Queue,
 		Workers:     spec.Workers,
 		Seed:        spec.Seed,
+		Arena:       arena,
 		Cancel:      ctx.Done(),
 	}
 	if spec.Degrade {

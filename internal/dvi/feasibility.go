@@ -60,7 +60,13 @@ var DVICOffsets = [4]geom.Pt{
 //     with no planar arms at the via (a stacked-via landing) never
 //     turns.
 func (f Feasibility) FeasibleDVICs(r *grid.Route, v Via) []geom.Pt {
-	out := make([]geom.Pt, 0, 4)
+	return f.AppendFeasibleDVICs(make([]geom.Pt, 0, 4), r, v)
+}
+
+// AppendFeasibleDVICs is FeasibleDVICs appending into a caller-supplied
+// buffer, for hot paths (the router's cost assignment runs it once per
+// via of every routed net) that recycle their scratch.
+func (f Feasibility) AppendFeasibleDVICs(out []geom.Pt, r *grid.Route, v Via) []geom.Pt {
 	for _, off := range DVICOffsets {
 		c := v.Pos().Add(off.X, off.Y)
 		if f.DVICFeasible(r, v, c) {
@@ -107,7 +113,10 @@ func (f Feasibility) extensionLegal(r *grid.Route, p geom.Pt3, d geom.Dir) bool 
 		return true
 	}
 	scheme := f.G.Scheme
-	for _, a := range r.MetalDirs(p) {
+	for _, a := range geom.PlanarDirs {
+		if !r.HasArm(p, a) {
+			continue
+		}
 		corner, isCorner := coloring.CornerOf(a, d)
 		if !isCorner {
 			continue // straight extension of an existing arm

@@ -49,6 +49,19 @@ func New(w, h, numLayers int, scheme coloring.Scheme) *Grid {
 	return g
 }
 
+// Clear empties the grid in place for reuse under a (possibly
+// different) coloring scheme. Occupant-list and via-count storage is
+// retained; dimensions and layer count are fixed at New.
+func (g *Grid) Clear(scheme coloring.Scheme) {
+	g.Scheme = scheme
+	for _, occ := range g.Metal {
+		occ.Clear()
+	}
+	for _, lv := range g.Vias {
+		lv.Clear()
+	}
+}
+
 // PrefHorizontal reports whether routing layer l prefers horizontal
 // wires. Layers alternate starting horizontal at layer 0 (metal 2).
 func (g *Grid) PrefHorizontal(l int) bool { return l%2 == 0 }
@@ -118,13 +131,23 @@ func (g *Grid) TotalVias() int {
 	return n
 }
 
-// Congestions returns every grid point occupied by more than one net.
+// Congestions returns every grid point occupied by more than one net,
+// in layer-major row-major order. It reads the occupancies'
+// incrementally maintained overflow sets, so the common case — no
+// congestion — costs O(layers), not a grid scan.
 func (g *Grid) Congestions() []geom.Pt3 {
-	var out []geom.Pt3
+	total := 0
+	for _, occ := range g.Metal {
+		total += occ.OverflowCount()
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]geom.Pt3, 0, total)
 	for l, occ := range g.Metal {
-		occ.Overflows(func(p geom.Pt) {
-			out = append(out, geom.XYL(p.X, p.Y, l))
-		})
+		for _, i := range occ.OverflowIdxs() {
+			out = append(out, geom.XYL(int(i)%g.W, int(i)/g.W, l))
+		}
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geom"
 )
@@ -16,11 +17,17 @@ type Occupancy struct {
 	w, h  int
 	cells [][]int32
 	used  int // number of non-empty cells
+	// over tracks the cells currently overflowing (shared by ≥2
+	// distinct nets), maintained incrementally by Add/Remove. It makes
+	// the congestion query O(overflows) instead of O(w·h) — the
+	// negotiation loop polls for congestion once per round, and the TPL
+	// rip-up loop once per iteration, almost always finding none.
+	over map[int32]struct{}
 }
 
 // NewOccupancy returns an empty occupancy over a w×h grid.
 func NewOccupancy(w, h int) *Occupancy {
-	return &Occupancy{w: w, h: h, cells: make([][]int32, w*h)}
+	return &Occupancy{w: w, h: h, cells: make([][]int32, w*h), over: map[int32]struct{}{}}
 }
 
 func (o *Occupancy) idx(p geom.Pt) int { return p.Y*o.w + p.X }
@@ -32,6 +39,11 @@ func (o *Occupancy) Add(p geom.Pt, net int32) {
 		o.used++
 	}
 	o.cells[i] = append(o.cells[i], net)
+	// Adding can only create an overflow, never clear one, and only on
+	// a cell that now holds ≥2 entries.
+	if len(o.cells[i]) >= 2 && o.Overflow(p) {
+		o.over[int32(i)] = struct{}{}
+	}
 }
 
 // Remove removes one occurrence of net at p. It panics if the net does
@@ -46,6 +58,11 @@ func (o *Occupancy) Remove(p geom.Pt, net int32) {
 			o.cells[i] = cell[:len(cell)-1]
 			if len(o.cells[i]) == 0 {
 				o.used--
+			}
+			// Removing can only clear an overflow. A cell that held one
+			// entry could not have been marked; larger cells re-check.
+			if len(cell) >= 2 && !o.Overflow(p) {
+				delete(o.over, int32(i))
 			}
 			return
 		}
@@ -112,7 +129,10 @@ func (o *Occupancy) Overflow(p geom.Pt) bool {
 	return false
 }
 
-// Overflows calls fn for every point where distinct nets overlap.
+// Overflows calls fn for every point where distinct nets overlap, in
+// row-major order. It scans the whole grid: the independent reference
+// for the incremental overflow set (see OverflowIdxs), kept for
+// cross-checking.
 func (o *Occupancy) Overflows(fn func(geom.Pt)) {
 	for y := 0; y < o.h; y++ {
 		for x := 0; x < o.w; x++ {
@@ -124,5 +144,35 @@ func (o *Occupancy) Overflows(fn func(geom.Pt)) {
 	}
 }
 
+// OverflowCount returns the number of overflowing cells, O(1).
+func (o *Occupancy) OverflowCount() int { return len(o.over) }
+
+// OverflowIdxs returns the dense indices of all overflowing cells in
+// ascending (row-major) order — the same order Overflows visits them —
+// from the incrementally maintained set.
+func (o *Occupancy) OverflowIdxs() []int32 {
+	if len(o.over) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(o.over))
+	for i := range o.over {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // UsedCells returns the number of occupied grid points.
 func (o *Occupancy) UsedCells() int { return o.used }
+
+// Clear empties every cell in place, retaining the occupant-list
+// capacity each cell has grown — the point of reusing an Occupancy.
+func (o *Occupancy) Clear() {
+	for i := range o.cells {
+		if len(o.cells[i]) > 0 {
+			o.cells[i] = o.cells[i][:0]
+		}
+	}
+	o.used = 0
+	clear(o.over)
+}

@@ -150,3 +150,49 @@ func TestOccupancyCounts(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOverflowSetMatchesScan: the incrementally maintained overflow
+// set equals the full-grid reference scan — same cells, same row-major
+// order — after any random add/remove sequence.
+func TestOverflowSetMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 60; trial++ {
+		o := NewOccupancy(10, 10)
+		type occAt struct {
+			p   geom.Pt
+			net int32
+		}
+		var live []occAt
+		for op := 0; op < 400; op++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				// Cluster adds on few cells/nets so overlaps are common.
+				p := geom.XY(rng.Intn(4), rng.Intn(4))
+				net := int32(rng.Intn(3))
+				o.Add(p, net)
+				live = append(live, occAt{p, net})
+			} else {
+				i := rng.Intn(len(live))
+				o.Remove(live[i].p, live[i].net)
+				live = append(live[:i], live[i+1:]...)
+			}
+
+			var want []int32
+			o.Overflows(func(p geom.Pt) { want = append(want, int32(p.Y*10+p.X)) })
+			got := o.OverflowIdxs()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d op %d: overflow set has %d cells, scan found %d",
+					trial, op, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d op %d: overflow idx %d: set %d, scan %d",
+						trial, op, k, got[k], want[k])
+				}
+			}
+			if o.OverflowCount() != len(want) {
+				t.Fatalf("trial %d op %d: OverflowCount %d, scan %d",
+					trial, op, o.OverflowCount(), len(want))
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/geom"
@@ -23,6 +24,11 @@ type Route struct {
 	vias   []geom.Pt3 // cached via base points (lower layer of the pair)
 	arms   map[geom.Pt3]uint8
 	dirty  bool
+
+	// rebuild scratch, reused across rebuilds so a rip-up/reroute cycle
+	// does not re-allocate the dedup maps every time.
+	seenPt  map[geom.Pt3]bool
+	seenVia map[geom.Pt3]bool
 }
 
 // dirBit maps a planar direction to its arms bitmask bit.
@@ -46,13 +52,31 @@ func NewRoute(net int32) *Route { return &Route{Net: net, dirty: true} }
 // AddPath appends a polyline. It panics if consecutive points are not
 // one grid step apart, catching router bugs at the source.
 func (r *Route) AddPath(path []geom.Pt3) {
+	checkUnitSteps(path)
+	r.Paths = append(r.Paths, path)
+	r.dirty = true
+}
+
+// AddPathCopy appends a copy of the polyline, reusing inner-slice
+// storage retained by an earlier Reset when available. The caller
+// keeps ownership of path — routers pass a per-search scratch buffer
+// here instead of allocating a fresh slice per connection.
+func (r *Route) AddPathCopy(path []geom.Pt3) {
+	checkUnitSteps(path)
+	var dst []geom.Pt3
+	if n := len(r.Paths); n < cap(r.Paths) {
+		dst = r.Paths[: n+1 : cap(r.Paths)][n][:0]
+	}
+	r.Paths = append(r.Paths, append(dst, path...))
+	r.dirty = true
+}
+
+func checkUnitSteps(path []geom.Pt3) {
 	for i := 1; i < len(path); i++ {
 		if path[i-1].DirTo(path[i]) == geom.None {
 			panic(fmt.Sprintf("grid: path step %v -> %v is not a unit step", path[i-1], path[i]))
 		}
 	}
-	r.Paths = append(r.Paths, path)
-	r.dirty = true
 }
 
 // Reset removes all paths.
@@ -68,11 +92,18 @@ func (r *Route) rebuild() {
 	if !r.dirty {
 		return
 	}
-	seenPt := map[geom.Pt3]bool{}
-	seenVia := map[geom.Pt3]bool{}
+	if r.seenPt == nil {
+		r.seenPt = map[geom.Pt3]bool{}
+		r.seenVia = map[geom.Pt3]bool{}
+		r.arms = map[geom.Pt3]uint8{}
+	} else {
+		clear(r.seenPt)
+		clear(r.seenVia)
+		clear(r.arms)
+	}
+	seenPt, seenVia := r.seenPt, r.seenVia
 	r.points = r.points[:0]
 	r.vias = r.vias[:0]
-	r.arms = make(map[geom.Pt3]uint8)
 	for _, path := range r.Paths {
 		for i, p := range path {
 			if !seenPt[p] {
@@ -126,30 +157,18 @@ func (r *Route) HasPoint(p geom.Pt3) bool {
 }
 
 // Wirelength returns the number of planar unit segments, counting a
-// segment once even if multiple paths traverse it.
+// segment once even if multiple paths traverse it. It reads the arms
+// masks the rebuild maintains: every unique planar segment contributes
+// exactly one arm bit to each of its two endpoints (the masks are
+// OR-ed, so re-traversals don't double-count), hence the segment count
+// is half the total arm popcount — no per-call allocation.
 func (r *Route) Wirelength() int {
-	type seg struct {
-		a, b geom.Pt3
+	r.rebuild()
+	total := 0
+	for _, mask := range r.arms {
+		total += bits.OnesCount8(mask)
 	}
-	seen := map[seg]bool{}
-	wl := 0
-	for _, path := range r.Paths {
-		for i := 1; i < len(path); i++ {
-			a, b := path[i-1], path[i]
-			if a.DirTo(b).Via() {
-				continue
-			}
-			if b.X < a.X || b.Y < a.Y {
-				a, b = b, a
-			}
-			s := seg{a, b}
-			if !seen[s] {
-				seen[s] = true
-				wl++
-			}
-		}
-	}
-	return wl
+	return total / 2
 }
 
 // NumVias returns the via count of the route.

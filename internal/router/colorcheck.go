@@ -37,7 +37,7 @@ func (rt *Router) ensureColorable() error {
 			// Make the offending via site expensive and move one of
 			// its owners.
 			pi := rt.g.PIdx(geom.XY(v.X, v.Y))
-			rt.histVia[v.Layer][pi] += rt.cfg.Params.HistInc * CostScale * 2
+			rt.bumpHistVia(v.Layer, pi, rt.cfg.Params.HistInc*CostScale*2)
 			owners := rt.viaOwnersAt(v.Layer, geom.XY(v.X, v.Y))
 			if len(owners) == 0 {
 				continue

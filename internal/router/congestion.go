@@ -55,7 +55,7 @@ func (rt *Router) resolveCongestion() error {
 		toRip := map[int32]bool{}
 		for _, p := range cong {
 			pi := rt.g.PIdx(p.Pt2())
-			rt.histMetal[p.Layer][pi] += P.HistInc * CostScale
+			rt.bumpHistMetal(p.Layer, pi, P.HistInc*CostScale)
 			nets := rt.g.Metal[p.Layer].Nets(p.Pt2())
 			if len(nets) == 0 {
 				continue

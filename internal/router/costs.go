@@ -35,19 +35,36 @@ type ledger []costEntry
 func (rt *Router) addMetalCost(layer int, p geom.Pt, amount int64, led *ledger) {
 	pi := rt.g.PIdx(p)
 	rt.metalCost[layer][pi] += amount
+	rt.metalPrice[layer][pi] += amount
 	*led = append(*led, costEntry{kind: costMetal, layer: int32(layer), pidx: int32(pi), amount: amount})
 }
 
 func (rt *Router) addViaCost(vlayer int, p geom.Pt, amount int64, led *ledger) {
 	pi := rt.g.PIdx(p)
 	rt.viaCost[vlayer][pi] += amount
+	rt.viaPrice[vlayer][pi] += amount
 	*led = append(*led, costEntry{kind: costVia, layer: int32(vlayer), pidx: int32(pi), amount: amount})
 }
 
 func (rt *Router) addViaConf(vlayer int, p geom.Pt, amount int64, led *ledger) {
 	pi := rt.g.PIdx(p)
 	rt.viaConf[vlayer][pi] += int32(amount)
+	rt.viaPrice[vlayer][pi] += amount * rt.cfg.Params.Gamma * CostScale
 	*led = append(*led, costEntry{kind: costConf, layer: int32(vlayer), pidx: int32(pi), amount: amount})
+}
+
+// bumpHistMetal raises a metal point's negotiated-congestion history.
+// History is intentionally never reverted by rip-ups, so it has no
+// ledger entry; the folded price moves with it.
+func (rt *Router) bumpHistMetal(layer int, pi int, amount int64) {
+	rt.histMetal[layer][pi] += amount
+	rt.metalPrice[layer][pi] += amount
+}
+
+// bumpHistVia raises a via site's history, keeping the fold current.
+func (rt *Router) bumpHistVia(vlayer int, pi int, amount int64) {
+	rt.histVia[vlayer][pi] += amount
+	rt.viaPrice[vlayer][pi] += amount
 }
 
 // applyNetCosts runs Algorithm 1 for a freshly routed net, building its
@@ -61,9 +78,13 @@ func (rt *Router) applyNetCosts(id int32) {
 	P := rt.cfg.Params
 
 	if rt.cfg.ConsiderDVI {
-		// BDC and CDC around each of the net's vias.
-		for _, v := range dvi.ViasOf(r) {
-			feasible := rt.feas.FeasibleDVICs(r, v)
+		// BDC and CDC around each of the net's vias. Vias are built
+		// inline from ViaList rather than via dvi.ViasOf so the hot
+		// apply path does not allocate a slice per routed net.
+		for _, b := range r.ViaList() {
+			v := dvi.Via{Net: r.Net, Base: b}
+			rt.dvicBuf = rt.feas.AppendFeasibleDVICs(rt.dvicBuf[:0], r, v)
+			feasible := rt.dvicBuf
 			if len(feasible) == 0 {
 				continue
 			}
@@ -112,7 +133,8 @@ func (rt *Router) applyNetCosts(id int32) {
 		// TPLC: each via raises the coloring-conflict count of every
 		// via location within same-color pitch; the search prices a
 		// prospective via at γ × count (§III-B).
-		for _, v := range dvi.ViasOf(r) {
+		for _, b := range r.ViaList() {
+			v := dvi.Via{Net: r.Net, Base: b}
 			for _, off := range tpl.ConflictOffsets {
 				q := v.Pos().Add(off.X, off.Y)
 				if rt.g.InPlane(q) {
@@ -123,16 +145,19 @@ func (rt *Router) applyNetCosts(id int32) {
 	}
 }
 
-// revertNetCosts undoes the net's ledger.
+// revertNetCosts undoes the net's ledger, folds included.
 func (rt *Router) revertNetCosts(id int32) {
 	for _, e := range rt.ledgers[id] {
 		switch e.kind {
 		case costMetal:
 			rt.metalCost[e.layer][e.pidx] -= e.amount
+			rt.metalPrice[e.layer][e.pidx] -= e.amount
 		case costVia:
 			rt.viaCost[e.layer][e.pidx] -= e.amount
+			rt.viaPrice[e.layer][e.pidx] -= e.amount
 		case costConf:
 			rt.viaConf[e.layer][e.pidx] -= int32(e.amount)
+			rt.viaPrice[e.layer][e.pidx] -= e.amount * rt.cfg.Params.Gamma * CostScale
 		}
 	}
 	rt.ledgers[id] = rt.ledgers[id][:0]

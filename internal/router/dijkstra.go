@@ -68,22 +68,36 @@ func armOf(bit uint8) geom.Dir {
 	return geom.None
 }
 
+// cell is one search state's scratch record: tentative distance,
+// parent state, and the epoch stamp that validates both. Packing the
+// three into a single 16-byte struct keeps a relaxation (read stamp +
+// dist, write all three) inside one cache line instead of touching
+// three parallel arrays.
+type cell struct {
+	dist   int64
+	parent int32
+	stamp  uint32
+}
+
 // searchScratch holds the reusable state of the windowed search: the
-// epoch-stamped distance/parent arrays, the monomorphic binary heap,
-// and the path-reversal buffer. Nothing in here is allocated per
-// search once the buffers have grown to the largest window seen.
+// epoch-stamped distance/parent cells, the two priority-queue backends
+// (Dial bucket ring by default, binary heap behind Config.Queue), and
+// the path-reversal buffer. Nothing in here is allocated per search
+// once the buffers have grown to the largest window seen.
 //
 // Epoch stamping: a cell's dist/parent values are valid only when its
 // stamp equals the current epoch. reset bumps the epoch instead of
-// clearing the arrays, making per-search setup O(1); stale cells read
+// clearing the array, making per-search setup O(1); stale cells read
 // as infCost through distAt.
 type searchScratch struct {
-	dist    []int64
-	parent  []int32
-	stamp   []uint32
+	cells   []cell
 	epoch   uint32
+	seq     uint32 // push counter: the canonical tie-break among equal keys
+	useHeap bool   // legacy binary-heap backend (Config.Queue == HeapQueue)
 	heap    []pqItem
+	bq      bucketQueue
 	pathRev []geom.Pt3
+	pathFwd []geom.Pt3
 	win     geom.Rect
 	wW, wH  int
 	layers  int
@@ -103,17 +117,13 @@ func (s *searchScratch) reset(win geom.Rect, layers int) {
 	s.wW, s.wH = win.Width(), win.Height()
 	n := s.wW * s.wH * layers * numDirStates
 	np := s.wW * s.wH * layers
-	if cap(s.dist) < n {
-		s.dist = make([]int64, n)
-		s.parent = make([]int32, n)
-		s.stamp = make([]uint32, n)
+	if cap(s.cells) < n {
+		s.cells = make([]cell, n)
 		s.arms = make([]uint8, np)
 		s.armStamp = make([]uint32, np)
 		s.epoch = 0
 	} else {
-		s.dist = s.dist[:n]
-		s.parent = s.parent[:n]
-		s.stamp = s.stamp[:n]
+		s.cells = s.cells[:n]
 		s.arms = s.arms[:np]
 		s.armStamp = s.armStamp[:np]
 	}
@@ -121,8 +131,8 @@ func (s *searchScratch) reset(win geom.Rect, layers int) {
 	if s.epoch == 0 {
 		// uint32 wraparound: every stale stamp would read as current.
 		// Clear once every ~4 billion searches and restart at 1.
-		for i := range s.stamp {
-			s.stamp[i] = 0
+		for i := range s.cells {
+			s.cells[i].stamp = 0
 		}
 		for i := range s.armStamp {
 			s.armStamp[i] = 0
@@ -130,6 +140,8 @@ func (s *searchScratch) reset(win geom.Rect, layers int) {
 		s.epoch = 1
 	}
 	s.heap = s.heap[:0]
+	s.bq.reset()
+	s.seq = 0
 }
 
 // pointIdx is the in-window dense index of a 3-D point (no direction
@@ -167,18 +179,17 @@ func (s *searchScratch) armsAt(p geom.Pt3) uint8 {
 // distAt returns the tentative distance of a state, infCost when the
 // cell was not written this epoch.
 func (s *searchScratch) distAt(id int32) int64 {
-	if s.stamp[id] != s.epoch {
+	c := &s.cells[id]
+	if c.stamp != s.epoch {
 		return infCost
 	}
-	return s.dist[id]
+	return c.dist
 }
 
 // setDist records a tentative distance and parent, stamping the cell
 // into the current epoch.
 func (s *searchScratch) setDist(id int32, d int64, parent int32) {
-	s.stamp[id] = s.epoch
-	s.dist[id] = d
-	s.parent[id] = parent
+	s.cells[id] = cell{dist: d, parent: parent, stamp: s.epoch}
 }
 
 func (s *searchScratch) stateIdx(p geom.Pt3, ds int) int32 {
@@ -195,17 +206,26 @@ func (s *searchScratch) statePt(idx int32) (geom.Pt3, int) {
 	return geom.XYL(x, y, l), ds
 }
 
-// pqItem is a heap entry: f is the A* key — the exact cost g from the
+// pqItem is a queue entry: f is the A* key — the exact cost g from the
 // sources plus the admissible lower bound to the target (g itself when
 // the bound is disabled). g is recovered at pop time by subtracting
 // the bound. xyl packs the state's absolute coordinates and layer so a
 // pop needs no division to recover them (id still encodes the
-// direction state). Stale entries — whose g exceeds the state's
-// current tentative distance — are skipped on pop.
+// direction state). seq is the push sequence number: both queue
+// backends order items by (f, seq), so equal-key ties pop in push
+// order regardless of backend — the canonical order the differential
+// tests pin. Stale entries — whose g exceeds the state's current
+// tentative distance — are skipped on pop.
 type pqItem struct {
 	f   int64
 	id  int32
 	xyl uint32
+	seq uint32
+}
+
+// pqLess is the canonical queue order: key, then push sequence.
+func pqLess(a, b pqItem) bool {
+	return a.f < b.f || (a.f == b.f && a.seq < b.seq)
 }
 
 // packXYL fits x and y in 14 bits each and the layer in 4; grids are
@@ -219,19 +239,17 @@ func unpackXYL(v uint32) geom.Pt3 {
 	return geom.XYL(int(v&0x3fff), int(v>>14&0x3fff), int(v>>28))
 }
 
-// hPush and hPop implement a monomorphic binary min-heap on f over
-// s.heap. The comparison sequence replicates container/heap's sift
-// order exactly, so heap layout — and therefore tie-breaking among
-// equal keys — matches the boxed implementation this replaced; hPop
-// uses a hole sift (identical comparisons and final layout, half the
-// writes).
+// hPush and hPop implement a monomorphic binary min-heap on (f, seq)
+// over s.heap — the legacy backend kept behind Config.Queue for
+// differential testing against the bucket queue. hPop uses a hole sift
+// (identical comparisons and final layout, half the writes).
 func (s *searchScratch) hPush(it pqItem) {
 	s.heap = append(s.heap, it)
 	h := s.heap
 	j := len(h) - 1
 	for j > 0 {
 		i := (j - 1) / 2
-		if h[j].f >= h[i].f {
+		if !pqLess(h[j], h[i]) {
 			break
 		}
 		h[i], h[j] = h[j], h[i]
@@ -251,10 +269,10 @@ func (s *searchScratch) hPop() pqItem {
 			break
 		}
 		j := l
-		if r := l + 1; r < n && h[r].f < h[l].f {
+		if r := l + 1; r < n && pqLess(h[r], h[l]) {
 			j = r
 		}
-		if h[j].f >= moved.f {
+		if !pqLess(h[j], moved) {
 			break
 		}
 		h[i] = h[j]
@@ -263,6 +281,34 @@ func (s *searchScratch) hPop() pqItem {
 	h[i] = moved
 	s.heap = h[:n]
 	return top
+}
+
+// push enqueues a state into the selected backend, assigning the next
+// tie-break sequence number.
+func (s *searchScratch) push(f int64, id int32, xyl uint32) {
+	it := pqItem{f: f, id: id, xyl: xyl, seq: s.seq}
+	s.seq++
+	if s.useHeap {
+		s.hPush(it)
+	} else {
+		s.bq.push(it)
+	}
+}
+
+// queued returns the number of enqueued items.
+func (s *searchScratch) queued() int {
+	if s.useHeap {
+		return len(s.heap)
+	}
+	return s.bq.n
+}
+
+// pop dequeues the (f, seq)-minimal item from the selected backend.
+func (s *searchScratch) pop() pqItem {
+	if s.useHeap {
+		return s.hPop()
+	}
+	return s.bq.pop()
 }
 
 // source is a search start state.
@@ -384,7 +430,7 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 		id := s.stateIdx(src.p, dirState(src.din))
 		if src.cost < s.distAt(id) {
 			s.setDist(id, src.cost, -1)
-			s.hPush(pqItem{f: src.cost + rt.lowerBound(src.p, target), id: id, xyl: packXYL(src.p)})
+			s.push(src.cost+rt.lowerBound(src.p, target), id, packXYL(src.p))
 		}
 	}
 	P := rt.cfg.Params
@@ -397,13 +443,13 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 	pointDelta := [4]int{1, -1, s.wW, -s.wW}
 	layerDelta := s.wW * s.wH
 	gridDelta := [4]int{1, -1, rt.g.W, -rt.g.W}
-	for len(s.heap) > 0 {
-		it := s.hPop()
+	for s.queued() > 0 {
+		it := s.pop()
 		p := unpackXYL(it.xyl)
 		ds := int(it.id) % numDirStates
 		pIdx := int(it.id) / numDirStates
 		g := it.f - rt.lowerBound(p, target)
-		if g > s.dist[it.id] {
+		if g > s.cells[it.id].dist {
 			continue // stale
 		}
 		if p == target {
@@ -417,8 +463,9 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 			baseArms |= armBit(din.Opposite())
 		}
 		turnRow := &rt.turnTab[p.X&1|(p.Y&1)<<1]
-		// Per-layer cost rows, hoisted out of the planar-move loop.
-		mc, hm := rt.metalCost[p.Layer], rt.histMetal[p.Layer]
+		// Per-layer folded price row (assigned costs + history), hoisted
+		// out of the planar-move loop.
+		mp := rt.metalPrice[p.Layer]
 		occ := rt.g.Metal[p.Layer]
 		prefHorizontal := rt.g.PrefHorizontal(p.Layer)
 		gp := p.Y*rt.g.W + p.X
@@ -444,14 +491,14 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 			}
 			cost := g + step + turnCost
 			pi := gp + gridDelta[di]
-			cost += mc[pi] + hm[pi]
+			cost += mp[pi]
 			if k := occ.CountOther(np.Pt2(), net); k > 0 {
 				cost += int64(k) * rt.presFac
 			}
 			nid := int32((pIdx+pointDelta[di])*numDirStates + di + 1)
 			if cost < s.distAt(nid) {
 				s.setDist(nid, cost, it.id)
-				s.hPush(pqItem{f: cost + rt.lowerBound(np, target), id: nid, xyl: packXYL(np)})
+				s.push(cost+rt.lowerBound(np, target), nid, packXYL(np))
 			}
 		}
 		// Via moves.
@@ -476,14 +523,12 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 			if rt.blockVia[vl][pi] && !rt.ignoreBlocks {
 				continue
 			}
-			cost := g + baseViaCost +
-				rt.viaCost[vl][pi] + rt.histVia[vl][pi] +
-				int64(rt.viaConf[vl][pi])*P.Gamma*CostScale
+			cost := g + baseViaCost + rt.viaPrice[vl][pi]
 			cost += rt.metalNodeCost(np, net)
 			nid := int32((pIdx+nd)*numDirStates + 5 + vi)
 			if cost < s.distAt(nid) {
 				s.setDist(nid, cost, it.id)
-				s.hPush(pqItem{f: cost + rt.lowerBound(np, target), id: nid, xyl: packXYL(np)})
+				s.push(cost+rt.lowerBound(np, target), nid, packXYL(np))
 			}
 		}
 	}
@@ -501,11 +546,11 @@ func (rt *Router) foreignPin(p geom.Pt3, net int32) bool {
 }
 
 // metalNodeCost is the dynamic cost of occupying metal point p:
-// assigned costs (BDC spill), history, and the congestion penalty per
-// foreign occupant.
+// assigned costs (BDC spill) plus history (the folded price), and the
+// congestion penalty per foreign occupant.
 func (rt *Router) metalNodeCost(p geom.Pt3, net int32) int64 {
 	pi := rt.g.PIdx(p.Pt2())
-	c := rt.metalCost[p.Layer][pi] + rt.histMetal[p.Layer][pi]
+	c := rt.metalPrice[p.Layer][pi]
 	if k := rt.g.Metal[p.Layer].CountOther(p.Pt2(), net); k > 0 {
 		c += int64(k) * rt.presFac
 	}
@@ -514,21 +559,23 @@ func (rt *Router) metalNodeCost(p geom.Pt3, net int32) int64 {
 
 // rebuildPath walks the parent chain into the reused reversal buffer,
 // then emits the forward path, dropping consecutive duplicates (none
-// expected, but cheap to guarantee). The returned slice is freshly
-// allocated — it outlives the scratch (grid.Route keeps it).
+// expected, but cheap to guarantee). The returned slice is scratch,
+// valid only until the next search — callers that keep the path copy
+// it (grid.Route.AddPathCopy).
 func (s *searchScratch) rebuildPath(id int32) []geom.Pt3 {
 	rev := s.pathRev[:0]
 	for id != -1 {
 		p, _ := s.statePt(id)
 		rev = append(rev, p)
-		id = s.parent[id]
+		id = s.cells[id].parent
 	}
 	s.pathRev = rev
-	out := make([]geom.Pt3, 0, len(rev))
+	out := s.pathFwd[:0]
 	for i := len(rev) - 1; i >= 0; i-- {
 		if len(out) == 0 || out[len(out)-1] != rev[i] {
 			out = append(out, rev[i])
 		}
 	}
+	s.pathFwd = out
 	return out
 }

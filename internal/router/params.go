@@ -1,6 +1,8 @@
 package router
 
 import (
+	"encoding/json"
+	"fmt"
 	"time"
 
 	"repro/internal/coloring"
@@ -71,6 +73,61 @@ func ConferenceParams() Params {
 	return p
 }
 
+// QueueKind selects the priority-queue backend of the windowed
+// search. Both backends pop states in the identical canonical
+// (key, push-sequence) order, so routing output is bit-identical
+// between them; the flag exists for differential testing and as an
+// escape hatch.
+type QueueKind uint8
+
+const (
+	// BucketQueue is the default Dial-style bucket ring: O(1) push and
+	// amortized O(1) pop, exploiting that step costs are small bounded
+	// multiples of CostScale (see DESIGN.md §12).
+	BucketQueue QueueKind = iota
+	// HeapQueue is the legacy monomorphic binary heap.
+	HeapQueue
+)
+
+// String implements fmt.Stringer ("bucket"/"heap").
+func (k QueueKind) String() string {
+	if k == HeapQueue {
+		return "heap"
+	}
+	return "bucket"
+}
+
+// MarshalJSON encodes the backend by name so specs carrying it stay
+// human-readable.
+func (k QueueKind) MarshalJSON() ([]byte, error) {
+	if k > HeapQueue {
+		return nil, fmt.Errorf("cannot marshal QueueKind(%d)", uint8(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts the backend name or the raw numeric value.
+func (k *QueueKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "bucket":
+			*k = BucketQueue
+		case "heap":
+			*k = HeapQueue
+		default:
+			return fmt.Errorf("queue backend: want \"bucket\" or \"heap\", got %q", s)
+		}
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil || n > uint8(HeapQueue) {
+		return fmt.Errorf("queue backend: want \"bucket\", \"heap\" or 0-1, got %s", b)
+	}
+	*k = QueueKind(n)
+	return nil
+}
+
 // Config selects the SADP process and which considerations the router
 // applies — the four experiment columns of Tables III/IV.
 type Config struct {
@@ -91,6 +148,10 @@ type Config struct {
 	MaxRRIters int
 	// MaxTPLRRIters caps TPL-violation-removal iterations.
 	MaxTPLRRIters int
+	// Queue selects the search's priority-queue backend. The zero
+	// value is the Dial bucket queue; HeapQueue restores the legacy
+	// binary heap. Routing output is identical either way.
+	Queue QueueKind
 	// Seed drives deterministic tie-breaking choices.
 	Seed int64
 	// GoalDirected enables the admissible A* lower bound in the
@@ -106,6 +167,12 @@ type Config struct {
 	// so any value produces identical routing output; zero means 1
 	// (serial).
 	Workers int
+	// Arena, when non-nil, recycles router memory across runs: New
+	// rebinds the arena's previously Released router in place when the
+	// grid shape matches, instead of allocating the full per-grid state
+	// again. Routing output is bit-identical with or without an arena.
+	// One arena per worker goroutine; see Arena.
+	Arena *Arena
 	// Cancel, when non-nil, aborts the run cooperatively: the router
 	// polls it at iteration boundaries (per net in the initial phase,
 	// per rip-up round afterwards) and returns ErrCanceled once it is

@@ -44,6 +44,16 @@ type Router struct {
 	histVia   [][]int64 // history, via sites
 	blockVia  [][]bool  // via sites blocked during TPL violation removal
 
+	// Folded per-point prices, the only cost arrays the search reads:
+	//   metalPrice = metalCost + histMetal
+	//   viaPrice   = viaCost + histVia + Gamma·CostScale·viaConf
+	// Every writer of the semantic arrays above updates the folds in
+	// the same integer operation, so the sums are exact, and the hot
+	// loop touches one cache line where it used to touch two (metal)
+	// or three (via).
+	metalPrice [][]int64
+	viaPrice   [][]int64
+
 	presFac int64 // current congestion penalty factor
 	rng     *rand.Rand
 
@@ -60,6 +70,31 @@ type Router struct {
 
 	search searchScratch
 	srcBuf []source // reused per-connection source list
+
+	// Rip-up/reroute recycling: ripped Route objects (with their path,
+	// cache and map storage) are reused by the next routeNet instead of
+	// being re-allocated — the rip-up loops churn through thousands of
+	// them. routeNet's per-call pin working sets are reused the same
+	// way.
+	spareRoutes []*grid.Route
+	pinBuf      []geom.Pt3
+	connBuf     []geom.Pt3
+	remBuf      []geom.Pt3
+	pinSeen     map[geom.Pt]bool
+
+	// scanStamp/scanEpoch deduplicate the via-driven blocked-site
+	// discovery (initBlockedVias): overlapping 5×5 neighborhoods of
+	// nearby vias share cells, and each cell is examined once per
+	// epoch. Row bands own disjoint rows, so concurrent bands never
+	// touch the same stamp.
+	scanStamp []uint32
+	scanEpoch uint32
+	// siteBuf is recycled storage for occupied-via-site snapshots
+	// (tpl.AppendSites) taken during TPL bookkeeping.
+	siteBuf []geom.Pt
+	// dvicBuf is recycled storage for per-via feasible-DVIC queries in
+	// the cost assignment (≤4 entries, rewritten for every via).
+	dvicBuf []geom.Pt
 
 	// minViaCost is the precomputed per-layer-crossing term of the A*
 	// lower bound: the base via cost, floored at zero so a pathological
@@ -81,6 +116,11 @@ type Router struct {
 	debugLog func(format string, args ...interface{})
 	// debugVictim, when set, observes each rip-up victim choice.
 	debugVictim func(p geom.Pt3, id int32)
+	// debugTPLIter, when set, observes the incremental TPL state at the
+	// top of every violation-removal iteration. Tests use it to
+	// cross-check blockVia and the fvps map against full rescans and to
+	// run the independent verifier per iteration.
+	debugTPLIter func(iter int, fvps map[fvpKey]bool)
 }
 
 func (rt *Router) logf(format string, args ...interface{}) {
@@ -141,6 +181,10 @@ func New(nl *netlist.Netlist, cfg Config) (*Router, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults(len(nl.Nets))
+	if rt := cfg.Arena.take(nl); rt != nil {
+		rt.reinit(nl, cfg)
+		return rt, nil
+	}
 	g := grid.New(nl.W, nl.H, nl.NumLayers, cfg.Scheme)
 	rt := &Router{
 		cfg:     cfg,
@@ -167,14 +211,41 @@ func New(nl *netlist.Netlist, cfg Config) (*Router, error) {
 	for l := 0; l < nl.NumLayers; l++ {
 		rt.metalCost = append(rt.metalCost, make([]int64, np))
 		rt.histMetal = append(rt.histMetal, make([]int64, np))
+		rt.metalPrice = append(rt.metalPrice, make([]int64, np))
 	}
 	for v := 0; v < nl.NumLayers-1; v++ {
 		rt.viaCost = append(rt.viaCost, make([]int64, np))
 		rt.viaConf = append(rt.viaConf, make([]int32, np))
 		rt.histVia = append(rt.histVia, make([]int64, np))
 		rt.blockVia = append(rt.blockVia, make([]bool, np))
+		rt.viaPrice = append(rt.viaPrice, make([]int64, np))
 	}
+	rt.scanStamp = make([]uint32, np)
+	rt.search.useHeap = cfg.Queue == HeapQueue
+	rt.search.bq.init(initialBucketSpan(cfg.Params))
 	return rt, nil
+}
+
+// initialBucketSpan sizes the bucket ring from the cost parameters:
+// with no accrued history or congestion the largest single-step key
+// increment is bounded by the sum of the per-step cost components
+// (wire step, turn penalty, via cost, and the assigned-cost weights,
+// all in CostScale units). History and congestion penalties can exceed
+// the hint at runtime; the ring then grows once and stays grown.
+func initialBucketSpan(p Params) int64 {
+	sum := p.NonPrefMul + p.NonPrefTurnCost + p.ViaCost +
+		p.Alpha + p.Beta + p.Gamma + p.AMC + p.UsagePenalty
+	if sum < 1 {
+		sum = 1
+	}
+	span := int64(256)
+	for span < sum*CostScale {
+		span <<= 1
+	}
+	if span > 8192 {
+		span = 8192
+	}
+	return span
 }
 
 // Grid exposes the routing grid (read-only use expected).
@@ -262,18 +333,30 @@ func sortByHPWL(order []int, nets []*netlist.Net) {
 // currently routed.
 func (rt *Router) routeNet(id int32) error {
 	net := rt.nl.Nets[id]
-	r := grid.NewRoute(id)
-	pins := make([]geom.Pt3, 0, len(net.Pins))
-	seen := map[geom.Pt]bool{}
+	var r *grid.Route
+	if n := len(rt.spareRoutes); n > 0 {
+		r = rt.spareRoutes[n-1]
+		rt.spareRoutes = rt.spareRoutes[:n-1]
+		r.Net = id
+	} else {
+		r = grid.NewRoute(id)
+	}
+	pins := rt.pinBuf[:0]
+	if rt.pinSeen == nil {
+		rt.pinSeen = map[geom.Pt]bool{}
+	} else {
+		clear(rt.pinSeen)
+	}
 	for _, p := range net.Pins {
-		if !seen[p] {
-			seen[p] = true
+		if !rt.pinSeen[p] {
+			rt.pinSeen[p] = true
 			pins = append(pins, geom.XYL(p.X, p.Y, 0))
 		}
 	}
+	rt.pinBuf = pins
 	// Connect pins nearest-first starting from pins[0].
-	connected := []geom.Pt3{pins[0]}
-	remaining := append([]geom.Pt3(nil), pins[1:]...)
+	connected := append(rt.connBuf[:0], pins[0])
+	remaining := append(rt.remBuf[:0], pins[1:]...)
 	for len(remaining) > 0 {
 		// Pick the unconnected pin closest to the connected set.
 		bi, bd := 0, int(^uint(0)>>1)
@@ -286,19 +369,23 @@ func (rt *Router) routeNet(id int32) error {
 		}
 		target := remaining[bi]
 		remaining = append(remaining[:bi], remaining[bi+1:]...)
+		rt.connBuf, rt.remBuf = connected, remaining
 		path, err := rt.findPath(r, connected, target, id)
 		if err != nil {
 			return err
 		}
-		r.AddPath(path)
+		r.AddPathCopy(path) // path is search scratch, valid until the next findPath
 		connected = append(connected, target)
 	}
+	rt.connBuf, rt.remBuf = connected[:0], remaining[:0]
 	rt.routes[id] = r
 	rt.g.AddRoute(r)
 	return nil
 }
 
-// ripUp removes a net's route, cost contributions and occupancy.
+// ripUp removes a net's route, cost contributions and occupancy. The
+// Route object is recycled for the next routeNet — no caller retains a
+// ripped route (ripUpTracked copies the via list it needs first).
 func (rt *Router) ripUp(id int32) {
 	r := rt.routes[id]
 	if r == nil || r.Empty() {
@@ -307,6 +394,8 @@ func (rt *Router) ripUp(id int32) {
 	rt.revertNetCosts(id)
 	rt.g.RemoveRoute(r)
 	rt.routes[id] = nil
+	r.Reset()
+	rt.spareRoutes = append(rt.spareRoutes, r)
 }
 
 // reroute routes a previously ripped-up net and reapplies its costs.

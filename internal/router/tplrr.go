@@ -44,32 +44,44 @@ func (rt *Router) removeTPLViolations() error {
 	}
 
 	// Line 2 of Algorithm 2: block via locations that would create an
-	// FVP if used (Fig 10). Full initial scan — the only whole-grid
-	// sweep of the phase, split into row bands across cfg.Workers
-	// (every band writes its own blockVia rows, so the result is
-	// worker-count independent); incremental updates after each
-	// rip-up/reroute.
+	// FVP if used (Fig 10). Via-driven initialization instead of a
+	// whole-grid sweep: a site can only be blocked when some 3×3 window
+	// containing it already holds ≥3 vias, so only cells within
+	// Chebyshev distance 2 of an occupied via site can block — examine
+	// exactly those (deduplicated by an epoch stamp), leave the rest
+	// untouched. blockVia is all-false on the first entry and kept
+	// exact by refreshAround across every tracked rip-up/reroute, so
+	// untouched cells are correct on re-entry too. Incremental updates
+	// after each rip-up/reroute maintain it from here.
 	for vl := range rt.blockVia {
-		vl := vl
-		b := rt.g.Bounds()
-		parallelRows(b.MinY, b.MaxY, rt.cfg.Workers, func(r0, r1 int) {
-			rt.rescanBlockedVias(vl, geom.Rect{MinX: b.MinX, MinY: r0, MaxX: b.MaxX, MaxY: r1})
-		})
+		rt.initBlockedVias(vl)
 	}
 
-	// Initial FVP set (the priority queue's FVP entries), also a
-	// whole-grid scan; AllFVPsN merges its bands in deterministic
-	// order.
+	// Initial FVP set (the priority queue's FVP entries), likewise
+	// via-driven: every FVP window holds ≥4 vias, so checking the ≤9
+	// windows around each occupied site finds them all. The map keying
+	// makes the discovery order irrelevant.
 	fvps := map[fvpKey]bool{}
 	for vl, lv := range rt.g.Vias {
-		for _, o := range lv.AllFVPsN(rt.cfg.Workers) {
-			fvps[fvpKey{vl, o}] = true
+		rt.siteBuf = lv.AppendSites(rt.siteBuf[:0])
+		for _, sp := range rt.siteBuf {
+			for dy := -2; dy <= 0; dy++ {
+				for dx := -2; dx <= 0; dx++ {
+					o := sp.Add(dx, dy)
+					if lv.WindowAt(o).IsFVP() {
+						fvps[fvpKey{vl, o}] = true
+					}
+				}
+			}
 		}
 	}
 
 	for iter := 0; ; iter++ {
 		if err := rt.checkCancel(); err != nil {
 			return err
+		}
+		if rt.debugTPLIter != nil {
+			rt.debugTPLIter(iter, fvps)
 		}
 		if iter%100 == 0 {
 			rt.logf("tplrr iter %d: %d congestions, %d fvp entries", iter, len(rt.g.Congestions()), len(fvps))
@@ -162,7 +174,7 @@ func (rt *Router) resolveCongestionStep(cong []geom.Pt3, fvps map[fvpKey]bool) e
 	toRip := map[int32]bool{}
 	for _, p := range cong {
 		pi := rt.g.PIdx(p.Pt2())
-		rt.histMetal[p.Layer][pi] += P.HistInc * CostScale
+		rt.bumpHistMetal(p.Layer, pi, P.HistInc*CostScale)
 		nets := rt.g.Metal[p.Layer].Nets(p.Pt2())
 		if len(nets) > 0 {
 			toRip[nets[rt.rng.Intn(len(nets))]] = true
@@ -206,7 +218,7 @@ func (rt *Router) bumpFVPHistory(k fvpKey, amount int64) {
 		for dx := 0; dx < 3; dx++ {
 			p := k.origin.Add(dx, dy)
 			if rt.g.InPlane(p) && rt.g.Vias[k.vl].Has(p) {
-				rt.histVia[k.vl][rt.g.PIdx(p)] += amount
+				rt.bumpHistVia(k.vl, rt.g.PIdx(p), amount)
 			}
 		}
 	}
@@ -269,6 +281,73 @@ func (rt *Router) refreshAround(vl int, p geom.Pt, fvps map[fvpKey]bool) {
 	area := geom.Rect{MinX: p.X - 2, MinY: p.Y - 2, MaxX: p.X + 2, MaxY: p.Y + 2}.
 		Intersect(rt.g.Bounds())
 	rt.rescanBlockedVias(vl, area)
+}
+
+// initBlockedVias computes the blocked state of one via layer by
+// examining only cells near occupied via sites. Inserting a via at p
+// can only create an FVP when a 3×3 window containing p already holds
+// ≥3 vias, so every blockable cell lies within Chebyshev distance 2 of
+// an occupied site; cells farther away are never blocked and are left
+// untouched (they are already false: zero-initialized on the first
+// entry, kept exact by refreshAround afterwards). Occupied sites
+// themselves are within distance 0 of a site, so the lv.Has clearing
+// of rescanBlockedVias is reproduced. The work is banded over rows
+// like the old whole-grid sweep — each band writes only its own rows
+// of blockVia and scanStamp, so the result is worker-count independent
+// and race-free.
+func (rt *Router) initBlockedVias(vl int) {
+	lv := rt.g.Vias[vl]
+	rt.siteBuf = lv.AppendSites(rt.siteBuf[:0])
+	sites := rt.siteBuf
+	if len(sites) == 0 {
+		return
+	}
+	rt.scanEpoch++
+	if rt.scanEpoch == 0 { // wrapped: invalidate all stamps
+		for i := range rt.scanStamp {
+			rt.scanStamp[i] = 0
+		}
+		rt.scanEpoch = 1
+	}
+	epoch := rt.scanEpoch
+	b := rt.g.Bounds()
+	parallelRows(b.MinY, b.MaxY, rt.cfg.Workers, func(r0, r1 int) {
+		for _, sp := range sites {
+			if sp.Y < r0-2 || sp.Y > r1+2 {
+				continue
+			}
+			y0, y1 := sp.Y-2, sp.Y+2
+			if y0 < r0 {
+				y0 = r0
+			}
+			if y1 > r1 {
+				y1 = r1
+			}
+			x0, x1 := sp.X-2, sp.X+2
+			if x0 < b.MinX {
+				x0 = b.MinX
+			}
+			if x1 > b.MaxX {
+				x1 = b.MaxX
+			}
+			for y := y0; y <= y1; y++ {
+				base := y * rt.g.W
+				for x := x0; x <= x1; x++ {
+					pi := base + x
+					if rt.scanStamp[pi] == epoch {
+						continue
+					}
+					rt.scanStamp[pi] = epoch
+					p := geom.XY(x, y)
+					if lv.Has(p) {
+						rt.blockVia[vl][pi] = false // occupied sites are priced, not blocked
+					} else {
+						rt.blockVia[vl][pi] = lv.WouldCreateFVP(p)
+					}
+				}
+			}
+		}
+	})
 }
 
 // rescanBlockedVias recomputes blockVia within the given area of one

@@ -1,0 +1,143 @@
+package router
+
+// Equivalence tests for the incremental TPL rip-up bookkeeping: at
+// every iteration of removeTPLViolations the via-driven/incremental
+// state (blockVia, the fvps violation map, the overflow sets behind
+// Congestions) must match full from-scratch rescans, and every
+// congestion-free intermediate solution must pass the independent
+// verifier. This keeps the incremental state honest — a drift would
+// silently change routing results long before it broke a final check.
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/verify"
+)
+
+// crossCheckTPLState compares the incremental TPL bookkeeping against
+// whole-grid reference scans.
+func crossCheckTPLState(t *testing.T, rt *Router, iter int, fvps map[fvpKey]bool) {
+	t.Helper()
+	g := rt.Grid()
+	// blockVia must equal a from-scratch recomputation everywhere:
+	// occupied sites unblocked, empty sites blocked exactly when a via
+	// there would create an FVP.
+	for vl, lv := range g.Vias {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				p := geom.XY(x, y)
+				want := !lv.Has(p) && lv.WouldCreateFVP(p)
+				if got := rt.blockVia[vl][y*g.W+x]; got != want {
+					t.Fatalf("iter %d: blockVia[%d] at %v = %v, full rescan says %v", iter, vl, p, got, want)
+				}
+			}
+		}
+	}
+	// The fvps map may hold stale entries (they are dropped lazily at
+	// pick time), but it must never miss a live FVP: superset of the
+	// full scan.
+	for vl, lv := range g.Vias {
+		for _, o := range lv.AllFVPs() {
+			if !fvps[fvpKey{vl, o}] {
+				t.Fatalf("iter %d: FVP at %v layer %d missing from incremental set", iter, o, vl)
+			}
+		}
+	}
+	// Congestions (incremental overflow sets) must equal the reference
+	// whole-grid overflow scan, including order.
+	var want []geom.Pt3
+	for l, occ := range g.Metal {
+		occ.Overflows(func(p geom.Pt) {
+			want = append(want, geom.XYL(p.X, p.Y, l))
+		})
+	}
+	got := g.Congestions()
+	if len(got) != len(want) {
+		t.Fatalf("iter %d: Congestions returned %d points, reference scan %d", iter, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("iter %d: congestion %d is %v, reference scan says %v", iter, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTPLIncrementalMatchesFullRescan routes seeded stress circuits
+// with the per-iteration debug hook installed, cross-checking the
+// incremental state against full rescans and running the independent
+// verifier on every congestion-free intermediate solution.
+func TestTPLIncrementalMatchesFullRescan(t *testing.T) {
+	totalWork := 0
+	for _, seed := range []int64{1, 5, 17, 33} {
+		nl := randomNetlist("tplinc", 30, 30, 46, seed)
+		rt, err := New(nl, Config{
+			Scheme:      coloring.Scheme{Type: coloring.SIM},
+			ConsiderDVI: true, ConsiderTPL: true,
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters := 0
+		rt.debugTPLIter = func(iter int, fvps map[fvpKey]bool) {
+			iters++
+			crossCheckTPLState(t, rt, iter, fvps)
+			// Every congestion-free intermediate state is a complete
+			// (if not yet FVP-free) solution; the independent verifier
+			// must accept its geometry and SADP turn legality.
+			if g := rt.Grid(); len(g.Congestions()) == 0 {
+				rep := verify.Routing(nl, rt.Routes(), verify.Options{SADP: coloring.SIM})
+				if err := rep.Err(); err != nil {
+					t.Fatalf("seed %d iter %d: verifier rejected intermediate solution: %v", seed, iter, err)
+				}
+			}
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if iters == 0 {
+			t.Fatalf("seed %d: TPL iteration hook never fired", seed)
+		}
+		checkSolution(t, rt, nl)
+		totalWork += rt.Stats().FVPsResolved + rt.Stats().RRIterations
+	}
+	if totalWork == 0 {
+		t.Fatal("stress circuits produced no TPL work; the cross-checks never exercised a dirty state")
+	}
+}
+
+// TestTPLInitViaDriven checks the via-driven initializer directly on
+// re-entry: after a full routing run the grid carries arbitrary via
+// patterns, and initBlockedVias must reproduce the whole-grid rescan
+// exactly — for every worker count, since the row bands share the
+// stamp array.
+func TestTPLInitViaDriven(t *testing.T) {
+	nl := randomNetlist("tplinit", 26, 26, 36, 9)
+	rt := route(t, nl, Config{
+		Scheme:      coloring.Scheme{Type: coloring.SIM},
+		ConsiderDVI: true, ConsiderTPL: true,
+		Seed: 9,
+	})
+	g := rt.Grid()
+	for vl := range g.Vias {
+		// Reference: full-area rescan.
+		rt.rescanBlockedVias(vl, g.Bounds())
+		want := append([]bool(nil), rt.blockVia[vl]...)
+		for _, workers := range []int{1, 2, 3, 8} {
+			// Poison the array where vias justify a block, then re-init.
+			for i := range rt.blockVia[vl] {
+				rt.blockVia[vl][i] = false
+			}
+			rt.cfg.Workers = workers
+			rt.initBlockedVias(vl)
+			for i := range want {
+				if rt.blockVia[vl][i] != want[i] {
+					t.Fatalf("layer %d workers %d: blockVia[%d] = %v, rescan says %v",
+						vl, workers, i, rt.blockVia[vl][i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package service
+
+// Steady-state allocation benchmarks for the worker flow: defaultRun
+// with a recycled per-worker arena vs the allocate-fresh path. Run with
+// -benchmem; the arena variant's allocs/op is the number the DESIGN.md
+// §12 "near zero steady-state allocation" claim refers to.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/coloring"
+	"repro/internal/router"
+)
+
+func benchSpec() bench.RunSpec {
+	return bench.RunSpec{
+		Scheme:      coloring.SIM,
+		ConsiderDVI: true,
+		ConsiderTPL: true,
+		Method:      bench.NoDVI,
+	}
+}
+
+func BenchmarkJobFresh(b *testing.B) {
+	nl := bench.Generate(bench.TinySuite()[0])
+	spec := benchSpec()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := defaultRun(ctx, nl, spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJobWarmArena(b *testing.B) {
+	nl := bench.Generate(bench.TinySuite()[0])
+	spec := benchSpec()
+	ctx := context.Background()
+	arena := router.NewArena()
+	if _, err := defaultRun(ctx, nl, spec, arena); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := defaultRun(ctx, nl, spec, arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

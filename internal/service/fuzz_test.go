@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/netlist"
+	"repro/internal/router"
 	"repro/internal/service/api"
 )
 
@@ -23,7 +24,7 @@ func FuzzSubmit(f *testing.F) {
 	s, err := New(Config{
 		Workers:   2,
 		QueueSize: 16,
-		Run: func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error) {
+		Run: func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec, _ *router.Arena) (api.Result, error) {
 			return api.Result{Row: bench.Row{CKT: nl.Name, Routability: 1}}, nil
 		},
 	})

@@ -14,12 +14,13 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/netlist"
+	"repro/internal/router"
 	"repro/internal/service/api"
 )
 
 // stubRun is a fast deterministic RunFunc for journal tests: the flow
 // under test is the recovery machinery, not routing.
-func stubRun(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error) {
+func stubRun(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec, _ *router.Arena) (api.Result, error) {
 	return api.Result{Spec: spec, Row: bench.Row{CKT: nl.Name, WL: 7, Vias: 3, Routability: 1}}, nil
 }
 

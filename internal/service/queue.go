@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/router"
 	"repro/internal/service/api"
 )
 
@@ -13,13 +14,23 @@ import (
 // off the bounded FIFO channel until Shutdown closes it; because the
 // workers keep draining after close, every job that was accepted with
 // 202 is driven to a terminal state before Shutdown returns.
+//
+// Each worker owns one router arena: back-to-back jobs on the same
+// grid shape reuse the previous job's routing state wholesale instead
+// of reallocating it (DESIGN.md §12). The arena never crosses
+// goroutines, and a panicking attempt simply never releases its router
+// back, so a job that corrupted its state cannot poison a later one.
 func (s *Server) startWorkers() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			var arena *router.Arena
+			if !s.cfg.NoArena {
+				arena = router.NewArena()
+			}
 			for j := range s.queue {
-				s.runJob(j)
+				s.runJob(j, arena)
 			}
 		}()
 	}
@@ -30,14 +41,14 @@ func (s *Server) startWorkers() {
 // converted to a structured failure instead of killing the daemon,
 // retried while attempts remain, and quarantined once the budget is
 // spent so a poison job cannot crash-loop the service.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(j *job, arena *router.Arena) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
 	for {
 		attempt := j.beginAttempt()
 		s.journalAppend(journalRecord{Type: recRunning, ID: j.id, Key: j.key, Attempt: attempt})
-		res, err, panicMsg := s.runAttempt(j)
+		res, err, panicMsg := s.runAttempt(j, arena)
 
 		if panicMsg != "" {
 			s.metrics.Panics.Add(1)
@@ -109,7 +120,7 @@ func (s *Server) runJob(j *job) {
 // than an error so the caller can tell crashes from ordinary
 // failures. The "worker.panic" fault site is the chaos hook for this
 // path.
-func (s *Server) runAttempt(j *job) (res api.Result, err error, panicMsg string) {
+func (s *Server) runAttempt(j *job, arena *router.Arena) (res api.Result, err error, panicMsg string) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicMsg = fmt.Sprintf("panic: %v\n%s", r, redactedStack())
@@ -133,7 +144,7 @@ func (s *Server) runAttempt(j *job) (res api.Result, err error, panicMsg string)
 	if ferr := s.fault.Inject("worker.panic"); ferr != nil {
 		panic(ferr)
 	}
-	res, err = s.run(ctx, j.nl, j.spec)
+	res, err = s.run(ctx, j.nl, j.spec, arena)
 	return
 }
 

@@ -35,13 +35,17 @@ import (
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/router"
 	"repro/internal/service/api"
 )
 
 // RunFunc executes one job's flow. The default implementation is
-// bench.RunContext wrapped into the api.Result schema; tests inject
-// controllable stand-ins.
-type RunFunc func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error)
+// bench.RunContextArena wrapped into the api.Result schema; tests
+// inject controllable stand-ins. arena is the calling worker's scratch
+// arena (nil when recycling is disabled); an implementation that uses
+// it must Release the job's router back to it after converting the
+// result, and must not retain the router past the call.
+type RunFunc func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec, arena *router.Arena) (api.Result, error)
 
 // Config sizes the service. Zero values take the defaults noted.
 type Config struct {
@@ -78,6 +82,13 @@ type Config struct {
 	// last allowed attempt is quarantined; one interrupted by crashes
 	// that many times is failed as interrupted.
 	MaxAttempts int
+	// NoArena disables the per-worker router arenas, making every job
+	// allocate its routing state from scratch. The arenas are output-
+	// neutral (bit-identical results, proven in internal/router tests);
+	// this switch exists for memory-constrained deployments where
+	// retaining one grid-sized router per worker between jobs is worse
+	// than the steady-state allocation churn.
+	NoArena bool
 	// DegradeByDefault forces the degrade option on every submission,
 	// for operators who prefer degraded results over deadline
 	// failures.
@@ -124,13 +135,18 @@ func (c Config) withDefaults() Config {
 }
 
 // defaultRun is the real flow: route + post-routing DVI via the bench
-// harness, wrapped into the shared result schema.
-func defaultRun(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error) {
-	row, art, err := bench.RunContext(ctx, nl, spec)
+// harness, wrapped into the shared result schema. The router is
+// released back to the worker's arena only after ResultFrom has copied
+// everything the response needs, so the recycled memory can never
+// alias a served result.
+func defaultRun(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec, arena *router.Arena) (api.Result, error) {
+	row, art, err := bench.RunContextArena(ctx, nl, spec, arena)
 	if err != nil {
 		return api.Result{}, err
 	}
-	return api.ResultFrom(spec, row, art), nil
+	res := api.ResultFrom(spec, row, art)
+	arena.Release(art.Router)
+	return res, nil
 }
 
 // Server is the routing service. Create with New, mount Handler() on

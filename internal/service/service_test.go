@@ -16,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/coloring"
 	"repro/internal/netlist"
+	"repro/internal/router"
 	"repro/internal/service/api"
 )
 
@@ -92,7 +93,7 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) api.JobResponse {
 // blockingRun returns a RunFunc that signals each start on started and
 // blocks until release is closed (or the context dies).
 func blockingRun(started chan string, release chan struct{}) RunFunc {
-	return func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec) (api.Result, error) {
+	return func(ctx context.Context, nl *netlist.Netlist, spec bench.RunSpec, _ *router.Arena) (api.Result, error) {
 		started <- nl.Name
 		select {
 		case <-release:

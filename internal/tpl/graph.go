@@ -31,12 +31,26 @@ func NewGraph(pts []geom.Pt) *Graph {
 	for i, p := range pts {
 		byPos[p] = int32(i)
 	}
-	for i, p := range pts {
+	// Two passes over one flat backing array instead of a per-vertex
+	// append: the graph is rebuilt after every routing pass, so the
+	// O(V) small slices would dominate steady-state allocation.
+	total := 0
+	for _, p := range pts {
 		for _, off := range ConflictOffsets {
-			if j, ok := byPos[p.Add(off.X, off.Y)]; ok {
-				g.Adj[i] = append(g.Adj[i], j)
+			if _, ok := byPos[p.Add(off.X, off.Y)]; ok {
+				total++
 			}
 		}
+	}
+	flat := make([]int32, 0, total)
+	for i, p := range pts {
+		start := len(flat)
+		for _, off := range ConflictOffsets {
+			if j, ok := byPos[p.Add(off.X, off.Y)]; ok {
+				flat = append(flat, j)
+			}
+		}
+		g.Adj[i] = flat[start:len(flat):len(flat)]
 	}
 	return g
 }

@@ -34,6 +34,12 @@ func NewLayerVias(w, h int) *LayerVias {
 // Dims returns the grid dimensions.
 func (lv *LayerVias) Dims() (w, h int) { return lv.w, lv.h }
 
+// Clear empties the layer in place, retaining its storage for reuse.
+func (lv *LayerVias) Clear() {
+	clear(lv.count)
+	lv.vias = 0
+}
+
 // InBounds reports whether p is a valid via site.
 func (lv *LayerVias) InBounds(p geom.Pt) bool {
 	return p.X >= 0 && p.X < lv.w && p.Y >= 0 && p.Y < lv.h
@@ -81,7 +87,18 @@ func (lv *LayerVias) Sites(fn func(geom.Pt)) {
 
 // SiteList returns all occupied sites in row-major order.
 func (lv *LayerVias) SiteList() []geom.Pt {
-	pts := make([]geom.Pt, 0, lv.vias)
+	return lv.AppendSites(nil)
+}
+
+// AppendSites appends all occupied sites in row-major order to pts and
+// returns the extended slice. Callers on hot paths pass a recycled
+// buffer (pts[:0]) to avoid the per-call allocation of SiteList.
+func (lv *LayerVias) AppendSites(pts []geom.Pt) []geom.Pt {
+	if cap(pts)-len(pts) < lv.vias {
+		grown := make([]geom.Pt, len(pts), len(pts)+lv.vias)
+		copy(grown, pts)
+		pts = grown
+	}
 	lv.Sites(func(p geom.Pt) { pts = append(pts, p) })
 	return pts
 }
