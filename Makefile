@@ -36,6 +36,14 @@ lint: sadplint
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "govulncheck not installed; skipped (CI runs it pinned)"; fi
 
+# Cluster differential e2e: real processes, real kill -9. Proves the
+# distributed invariant (byte-identical results across standalone,
+# worker-killed and coordinator-crashed topologies). Same script as CI.
+.PHONY: cluster-e2e
+
+cluster-e2e:
+	bash scripts/cluster_e2e.sh
+
 # Benchmark entry points. bench-smoke is the CI regression gate: it
 # routes the tiny suite and compares against the committed baseline in
 # BENCH_1.json (identical metrics required, 3x time tolerance).

@@ -3,11 +3,23 @@
 //
 // Usage:
 //
-//	sadprouted [-addr :8080] [-queue 64] [-workers 2] [-cache 128]
+//	sadprouted [-mode standalone|coordinator|worker]
+//	           [-addr :8080] [-queue 64] [-workers 2] [-cache 128]
 //	           [-job-timeout 10m] [-drain-timeout 60s] [-addr-file f]
 //	           [-data-dir d] [-max-request-bytes n] [-max-attempts 2]
 //	           [-degrade] [-quiet] [-pprof-addr 127.0.0.1:6060]
 //	           [-no-arena]
+//	           [-coordinator-addr http://host:port] [-worker-id w1]
+//	           [-lease-ttl 15s] [-heartbeat-every 1s]
+//
+// Modes (see the README "Distributed serving" section):
+//
+//	standalone  (default) one process routes everything in-process.
+//	coordinator owns the public /v1/jobs API, the journal and the
+//	            result cache, and shards execution across workers over
+//	            /cluster/v1/{pull,result,heartbeat}.
+//	worker      pulls jobs from -coordinator-addr and executes them;
+//	            -workers sets its concurrent slots.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /healthz,
 // GET /metrics. See the README "Serving" section for a curl
@@ -31,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -39,10 +52,11 @@ func main() {
 }
 
 func run() int {
-	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	mode := flag.String("mode", "standalone", "standalone, coordinator or worker")
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port); unused in worker mode")
 	addrFile := flag.String("addr-file", "", "write the actual listen address to this file (for port-0 runs)")
 	queue := flag.Int("queue", 64, "job queue capacity; submissions beyond it get 429")
-	workers := flag.Int("workers", 2, "routing worker pool size")
+	workers := flag.Int("workers", 2, "routing worker pool size (worker mode: concurrent slots)")
 	cache := flag.Int("cache", 128, "result cache capacity (entries)")
 	storedJobs := flag.Int("stored-jobs", 1024, "max finished jobs kept for polling")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock limit (0 = none); also caps the DVI ILP budget")
@@ -55,12 +69,25 @@ func run() int {
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off); bind to localhost, the profiles expose internals")
 	noArena := flag.Bool("no-arena", false, "disable per-worker router arenas (allocate each job's routing state fresh)")
+	coordAddr := flag.String("coordinator-addr", "", "worker mode: coordinator base URL (http://host:port)")
+	workerID := flag.String("worker-id", "", "worker mode: this worker's name (default hostname-pid)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator mode: job lease TTL; a worker silent this long loses its jobs")
+	heartbeatEvery := flag.Duration("heartbeat-every", time.Second, "worker mode: lease renewal period (keep well under -lease-ttl)")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...interface{}) {}
 	}
+
+	if *mode == "worker" {
+		return runWorker(*coordAddr, *workerID, *workers, *heartbeatEvery, *noArena, logf)
+	}
+	if *mode != "standalone" && *mode != "coordinator" {
+		fmt.Fprintf(os.Stderr, "sadprouted: unknown -mode %q (standalone, coordinator or worker)\n", *mode)
+		return 2
+	}
+
 	svc, err := service.New(service.Config{
 		QueueSize:        *queue,
 		Workers:          *workers,
@@ -72,11 +99,22 @@ func run() int {
 		MaxAttempts:      *maxAttempts,
 		DegradeByDefault: *degrade,
 		NoArena:          *noArena,
+		ExternalExec:     *mode == "coordinator",
 		Logf:             logf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sadprouted: %v\n", err)
 		return 1
+	}
+
+	handler := svc.Handler()
+	var coord *cluster.Coordinator
+	if *mode == "coordinator" {
+		coord = cluster.NewCoordinator(svc, cluster.CoordinatorConfig{
+			LeaseTTL: *leaseTTL,
+			Logf:     logf,
+		})
+		handler = coord.Handler()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -90,7 +128,7 @@ func run() int {
 			return 1
 		}
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 
 	// The profiling endpoints live on their own listener, never on the
 	// API port: the API handler is a dedicated mux, so /debug/pprof is
@@ -116,7 +154,7 @@ func run() int {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("sadprouted: listening on %s (queue=%d workers=%d cache=%d)", ln.Addr(), *queue, *workers, *cache)
+	log.Printf("sadprouted: %s listening on %s (queue=%d workers=%d cache=%d)", *mode, ln.Addr(), *queue, *workers, *cache)
 
 	select {
 	case err := <-errc:
@@ -131,8 +169,14 @@ func run() int {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	code := 0
-	if err := svc.Shutdown(drainCtx); err != nil {
-		log.Printf("sadprouted: drain incomplete: %v", err)
+	var drainErr error
+	if coord != nil {
+		drainErr = coord.Shutdown(drainCtx)
+	} else {
+		drainErr = svc.Shutdown(drainCtx)
+	}
+	if drainErr != nil {
+		log.Printf("sadprouted: drain incomplete: %v", drainErr)
 		code = 1
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
@@ -143,4 +187,38 @@ func run() int {
 	}
 	log.Printf("sadprouted: exit")
 	return code
+}
+
+// runWorker runs the headless pull-execute client until SIGTERM. A
+// signal lets the current jobs finish and upload before exiting.
+func runWorker(coordAddr, id string, slots int, heartbeatEvery time.Duration, noArena bool, logf func(string, ...interface{})) int {
+	if coordAddr == "" {
+		fmt.Fprintln(os.Stderr, "sadprouted: -mode worker requires -coordinator-addr")
+		return 2
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator:    coordAddr,
+		ID:             id,
+		Slots:          slots,
+		HeartbeatEvery: heartbeatEvery,
+		NoArena:        noArena,
+		Logf:           logf,
+	})
+	log.Printf("sadprouted: worker %s pulling from %s (slots=%d)", id, coordAddr, slots)
+	err := w.Run(ctx)
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "sadprouted: worker: %v\n", err)
+		return 1
+	}
+	log.Printf("sadprouted: worker %s exit", id)
+	return 0
 }

@@ -131,6 +131,12 @@ type RunSpec struct {
 	// internal/verify checker; the report lands in Artifacts.Verify.
 	// Verification never alters Row, only the verdict.
 	Verify bool `json:"verify,omitempty"`
+	// IncludeSolution embeds the marshaled routed solution (every net's
+	// polylines) in the service result. The solution bytes are a pure
+	// function of the input and spec — unlike the CPU-time fields of Row
+	// they are bit-identical run to run, which is what the distributed
+	// differential e2e byte-compares across cluster topologies.
+	IncludeSolution bool `json:"include_solution,omitempty"`
 }
 
 // Row is one table line: the metrics the paper reports per circuit.

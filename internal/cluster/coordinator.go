@@ -1,0 +1,527 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/api"
+)
+
+// CoordinatorConfig tunes the lease machinery. Zero values take the
+// defaults noted.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a placed job stays owned by its worker
+	// without a heartbeat before the sweeper re-places it (default
+	// 15s). It is also the heartbeat interval hint sent to workers.
+	LeaseTTL time.Duration
+	// SweepEvery is the lease/worker expiry scan period (default
+	// LeaseTTL/4).
+	SweepEvery time.Duration
+	// WorkerTTL is how long a worker counts as live after its last
+	// contact, for the exclusion logic (default 2×LeaseTTL).
+	WorkerTTL time.Duration
+	// MaxPullWait caps a pull's long-poll window (default 30s).
+	MaxPullWait time.Duration
+	// Logf, when set, receives one line per cluster transition.
+	Logf func(format string, args ...interface{})
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.LeaseTTL / 4
+	}
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 2 * c.LeaseTTL
+	}
+	if c.MaxPullWait <= 0 {
+		c.MaxPullWait = 30 * time.Second
+	}
+	return c
+}
+
+// trackedJob is the coordinator's view of one live (non-terminal)
+// job. Every field, including the map, is touched only inside the
+// owning Coordinator's critical sections on its mu.
+type trackedJob struct {
+	a      *service.Assignment
+	leased bool
+	worker string // current lease holder while leased
+	lease  string
+	// expires is the lease deadline; heartbeats push it forward.
+	expires time.Time
+	// started stamps the current placement, for the latency histogram.
+	started time.Time
+	// excluded names workers whose lease on this job expired; the
+	// grant loop avoids them while another live worker exists.
+	excluded map[string]bool
+}
+
+// workerInfo is the liveness record of one worker.
+type workerInfo struct {
+	lastSeen time.Time
+}
+
+// Coordinator owns cluster-scope state: the lease table, the pending
+// queue of unplaced assignments, and worker liveness. All durable
+// state stays in the wrapped service.Server (journal, cache,
+// single-flight, quarantine) — the Coordinator can crash and restart
+// with nothing but the journal and reconstruct equivalent work.
+//
+// Lock ordering: mu is the outermost lock; the service's own locks
+// and the journal's are acquired inside it (never the reverse — the
+// service never calls back into the Coordinator).
+type Coordinator struct {
+	svc  *service.Server
+	cfg  CoordinatorConfig
+	hist *service.LatencyHist
+
+	mu       sync.Mutex
+	jobs     map[string]*trackedJob // guarded by mu; job id → live job
+	pending  []string               // guarded by mu; unplaced job ids, FIFO
+	workers  map[string]*workerInfo // guarded by mu; worker id → liveness
+	leaseSeq int64                  // guarded by mu; lease token counter
+	closed   bool                   // guarded by mu; Shutdown reached the drain-workers phase
+	notify   chan struct{}          // guarded by mu; closed+replaced when pending grows
+
+	cancel context.CancelFunc // stops pump and sweeper
+	wg     sync.WaitGroup
+}
+
+// NewCoordinator wraps an ExternalExec service.Server and starts the
+// dequeue pump and the lease sweeper.
+func NewCoordinator(svc *service.Server, cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		svc:     svc,
+		cfg:     cfg.withDefaults(),
+		hist:    service.NewLatencyHist(),
+		jobs:    make(map[string]*trackedJob),
+		workers: make(map[string]*workerInfo),
+		notify:  make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	c.wg.Add(2)
+	go c.pump(ctx)
+	go c.sweeper(ctx)
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// pump moves accepted jobs from the service queue into the cluster
+// pending list. It exits on drain (CloseIntake + queue empty) or stop.
+func (c *Coordinator) pump(ctx context.Context) {
+	defer c.wg.Done()
+	for {
+		a, err := c.svc.Dequeue(ctx)
+		if err != nil {
+			return // ErrDraining or ctx canceled
+		}
+		c.mu.Lock()
+		c.jobs[a.ID] = &trackedJob{a: a, excluded: make(map[string]bool)}
+		c.pending = append(c.pending, a.ID)
+		c.broadcastLocked()
+		c.mu.Unlock()
+	}
+}
+
+// broadcastLocked wakes every pull long-poller. Callers hold mu.
+func (c *Coordinator) broadcastLocked() {
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// sweeper periodically expires silent workers and re-places jobs
+// whose leases ran out.
+func (c *Coordinator) sweeper(ctx context.Context) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		c.sweep(time.Now())
+	}
+}
+
+// sweep is one expiry pass. Iteration is in sorted id order so two
+// coordinators fed the same event history make the same decisions.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.cfg.WorkerTTL {
+			delete(c.workers, id)
+			c.logf("cluster: worker %s expired (last seen %s ago)", id, now.Sub(w.lastSeen).Round(time.Millisecond))
+		}
+	}
+	ids := make([]string, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := c.jobs[id]
+		if !t.leased || now.Before(t.expires) {
+			continue
+		}
+		holder := t.worker
+		t.excluded[holder] = true
+		t.leased = false
+		t.worker = ""
+		t.lease = ""
+		c.svc.Metrics().ClusterRequeues.Add(1)
+		c.logf("cluster: job %s lease expired on %s (attempt %d/%d)", id, holder, t.a.Attempts(), c.svc.MaxAttempts())
+		if t.a.Attempts() >= c.svc.MaxAttempts() {
+			// The attempt budget was consumed by dead workers — same
+			// verdict as crash-interrupted jobs on journal replay.
+			c.svc.FailInterrupted(t.a)
+			delete(c.jobs, id)
+			continue
+		}
+		c.svc.Requeue(t.a)
+		c.pending = append(c.pending, id)
+		c.broadcastLocked()
+	}
+}
+
+// touchWorkerLocked refreshes a worker's liveness. Callers hold mu.
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) {
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerInfo{}
+		c.workers[id] = w
+		c.logf("cluster: worker %s joined", id)
+	}
+	w.lastSeen = now
+}
+
+// otherLiveWorkerLocked reports whether a live worker besides the
+// given one exists. Callers hold mu.
+func (c *Coordinator) otherLiveWorkerLocked(except string, now time.Time) bool {
+	for id, w := range c.workers {
+		if id != except && now.Sub(w.lastSeen) <= c.cfg.WorkerTTL {
+			return true
+		}
+	}
+	return false
+}
+
+// tryGrantLocked places the oldest grantable pending job on the
+// worker and returns the assignment, or nil when nothing fits. A job
+// whose excluded set names this worker is skipped only while another
+// live worker could take it — with no alternative, granting to a
+// previously-failed holder beats starving the job (the attempt bound
+// still terminates it). Callers hold mu.
+func (c *Coordinator) tryGrantLocked(workerID string, now time.Time) *JobAssignment {
+	for i, id := range c.pending {
+		t, ok := c.jobs[id]
+		if !ok || t.leased {
+			continue // stale pending entry; compacted below
+		}
+		if t.excluded[workerID] && c.otherLiveWorkerLocked(workerID, now) {
+			continue
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		c.leaseSeq++
+		t.leased = true
+		t.worker = workerID
+		t.lease = fmt.Sprintf("L%08d", c.leaseSeq)
+		t.expires = now.Add(c.cfg.LeaseTTL)
+		t.started = now
+		attempt := c.svc.StartAttempt(t.a, workerID)
+		return &JobAssignment{
+			ID:         t.a.ID,
+			Key:        t.a.Key,
+			Netlist:    t.a.Netlist,
+			Spec:       t.a.Spec,
+			Lease:      t.lease,
+			Attempt:    attempt,
+			LeaseTTLMS: int(c.cfg.LeaseTTL / time.Millisecond),
+			TimeoutMS:  int(c.svc.JobTimeout() / time.Millisecond),
+		}
+	}
+	return nil
+}
+
+// handlePull answers a worker's long-poll for work.
+func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req PullRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "bad pull request"})
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait > c.cfg.MaxPullWait {
+		wait = c.cfg.MaxPullWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		now := time.Now()
+		c.mu.Lock()
+		c.touchWorkerLocked(req.WorkerID, now)
+		if c.closed {
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, PullResponse{Draining: true})
+			return
+		}
+		job := c.tryGrantLocked(req.WorkerID, now)
+		notify := c.notify
+		c.mu.Unlock()
+		if job != nil {
+			writeJSON(w, http.StatusOK, PullResponse{Job: job})
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			writeJSON(w, http.StatusOK, PullResponse{})
+			return
+		}
+		wake := time.NewTimer(remaining)
+		select {
+		case <-notify:
+			wake.Stop()
+		case <-wake.C:
+			writeJSON(w, http.StatusOK, PullResponse{})
+			return
+		case <-r.Context().Done():
+			wake.Stop()
+			return
+		}
+	}
+}
+
+// handleResult ingests one uploaded result. The contract is
+// idempotent and safe under stale leases:
+//
+//   - unknown job id, terminal in the store → "duplicate" (no-op);
+//   - tracked job, fresh lease → the upload decides the job;
+//   - tracked job, stale/expired lease, success payload → accepted
+//     anyway: the flow is deterministic, so the late worker's bytes
+//     equal what the rerun would produce, and the exactly-once
+//     terminate gate keeps whichever lands second a no-op;
+//   - tracked job, stale lease, error/panic payload → "stale" no-op:
+//     a presumed-dead worker must not fail a job another worker may
+//     still complete.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" || req.JobID == "" {
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "bad result request"})
+		return
+	}
+	now := time.Now()
+	success := len(req.Result) > 0 && req.Error == "" && req.Panic == ""
+
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID, now)
+	t, tracked := c.jobs[req.JobID]
+	if !tracked {
+		c.mu.Unlock()
+		if resp, ok := c.svc.Lookup(req.JobID); ok && isTerminal(resp.Status) {
+			c.svc.Metrics().ClusterDupResults.Add(1)
+			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultDuplicate})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("no live job %q", req.JobID)})
+		return
+	}
+	defer c.mu.Unlock()
+	if req.Key != t.a.Key {
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "content address mismatch"})
+		return
+	}
+	fresh := t.leased && t.lease == req.Lease && t.worker == req.WorkerID
+
+	switch {
+	case success:
+		if !fresh {
+			c.svc.Metrics().ClusterStaleResults.Add(1)
+		}
+		if c.svc.CompleteExternal(t.a, req.Result, req.Degraded, req.WorkerID) {
+			if fresh {
+				c.hist.Observe(req.WorkerID, now.Sub(t.started))
+			}
+			c.dropJobLocked(req.JobID)
+			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
+			return
+		}
+		c.svc.Metrics().ClusterDupResults.Add(1)
+		c.dropJobLocked(req.JobID)
+		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultDuplicate})
+
+	case req.Panic != "":
+		if !fresh {
+			c.svc.Metrics().ClusterStaleResults.Add(1)
+			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultStale})
+			return
+		}
+		if t.a.Attempts() >= c.svc.MaxAttempts() {
+			msg := fmt.Sprintf("quarantined after %d panicking attempts: %s", t.a.Attempts(), req.Panic)
+			c.svc.QuarantineExternal(t.a, msg)
+			c.dropJobLocked(req.JobID)
+		} else {
+			// Same retry rule as standalone: a panic before the budget
+			// is spent re-places the job (any worker may take it).
+			t.leased = false
+			t.worker = ""
+			t.lease = ""
+			c.svc.Requeue(t.a)
+			c.pending = append(c.pending, req.JobID)
+			c.broadcastLocked()
+		}
+		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
+
+	default:
+		if !fresh {
+			c.svc.Metrics().ClusterStaleResults.Add(1)
+			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultStale})
+			return
+		}
+		c.svc.FailExternal(t.a, req.Error, req.Canceled)
+		c.dropJobLocked(req.JobID)
+		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
+	}
+}
+
+// dropJobLocked removes a now-terminal job from the lease table and
+// the pending list. Callers hold mu.
+func (c *Coordinator) dropJobLocked(id string) {
+	delete(c.jobs, id)
+	for i, pid := range c.pending {
+		if pid == id {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// handleHeartbeat renews the worker's leases and reports the ones it
+// no longer holds so it can cancel those executions.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "bad heartbeat"})
+		return
+	}
+	now := time.Now()
+	var resp HeartbeatResponse
+	ids := make([]string, 0, len(req.Jobs))
+	for id := range req.Jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID, now)
+	for _, id := range ids {
+		t, ok := c.jobs[id]
+		if ok && t.leased && t.worker == req.WorkerID && t.lease == req.Jobs[id] {
+			t.expires = now.Add(c.cfg.LeaseTTL)
+			resp.Renewed = append(resp.Renewed, id)
+		} else {
+			resp.Lost = append(resp.Lost, id)
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics composes the service exposition with the
+// cluster-scope counters, gauges and per-worker latency histogram.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	g := service.ClusterGauges{}
+	for _, wk := range c.workers {
+		if now.Sub(wk.lastSeen) <= c.cfg.WorkerTTL {
+			g.Workers++
+		}
+	}
+	for _, t := range c.jobs {
+		if t.leased {
+			g.LeasesActive++
+		}
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.svc.WriteMetrics(w)
+	c.svc.Metrics().WriteCluster(w, g, c.hist)
+}
+
+// Handler returns the coordinator's routes: the cluster RPC endpoints
+// plus the wrapped service's public API (whose /metrics is overridden
+// by the composed cluster exposition).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathPull, c.handlePull)
+	mux.HandleFunc("POST "+PathResult, c.handleResult)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.Handle("/", c.svc.Handler())
+	return mux
+}
+
+// Shutdown drains the cluster: intake closes, already-accepted jobs
+// keep being placed and collected until none remain (workers pulling
+// Draining exit once the queue is empty), then the pump/sweeper stop
+// and the wrapped service shuts down. If ctx expires first, live jobs
+// simply stay in the journal as running records — the next boot
+// replays them as queued, which is the coordinator-crash story the
+// replay tests pin down.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.svc.CloseIntake()
+	wait := time.NewTicker(20 * time.Millisecond)
+	defer wait.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.jobs)
+		c.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			goto stop
+		case <-wait.C:
+		}
+	}
+stop:
+	c.cancel()
+	c.mu.Lock()
+	c.closed = true
+	c.broadcastLocked()
+	c.mu.Unlock()
+	c.wg.Wait()
+	return c.svc.Shutdown(ctx)
+}
+
+func isTerminal(s api.JobStatus) bool {
+	switch s {
+	case api.StatusDone, api.StatusFailed, api.StatusQuarantined:
+		return true
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/router"
+	"repro/internal/service"
+	"repro/internal/service/api"
+)
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID names this worker in leases, placements and metrics labels.
+	ID string
+	// Slots is the number of concurrent jobs (default 1). Each slot
+	// owns its router arena, mirroring the standalone worker pool.
+	Slots int
+	// PullWait is the long-poll window sent with each pull (default
+	// 2s).
+	PullWait time.Duration
+	// PollInterval is the backoff after a failed pull — the worker
+	// keeps retrying so it rides out coordinator restarts (default
+	// 500ms).
+	PollInterval time.Duration
+	// HeartbeatEvery is the lease renewal period (default 1s; keep it
+	// well under the coordinator's LeaseTTL).
+	HeartbeatEvery time.Duration
+	// NoArena disables router state recycling, as in the standalone
+	// daemon.
+	NoArena bool
+	// Fault arms the worker-side chaos sites: "worker.kill" (die
+	// silently after pulling a job, before running it) and
+	// "cluster.heartbeat.drop" (skip heartbeats). Wrap the Client's
+	// transport in fault.Transport for network-level faults.
+	Fault *fault.Injector
+	// Client performs the RPCs (default http.DefaultClient with a
+	// 0 timeout; long-polls rely on request contexts, not client
+	// timeouts).
+	Client *http.Client
+	// Run overrides the flow (tests). Nil means service.DefaultRun —
+	// the same function standalone workers execute.
+	Run service.RunFunc
+	// Logf, when set, receives one line per job transition.
+	Logf func(format string, args ...interface{})
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Slots <= 0 {
+		c.Slots = 1
+	}
+	if c.PullWait <= 0 {
+		c.PullWait = 2 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Run == nil {
+		c.Run = service.DefaultRun
+	}
+	return c
+}
+
+// runningJob tracks one in-flight execution for the heartbeat loop.
+// Instances are only touched inside the owning Worker's critical
+// sections on its mu.
+type runningJob struct {
+	lease  string
+	cancel context.CancelFunc
+	// abandoned is set when a heartbeat learns the lease was lost; the
+	// execution is canceled and its upload suppressed.
+	abandoned bool
+}
+
+// Worker is the pull-based execution client. It holds no durable
+// state: killing it at any instant loses nothing the coordinator's
+// journal doesn't re-place.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu      sync.Mutex
+	running map[string]*runningJob // guarded by mu; job id → execution
+	killed  bool                   // guarded by mu; "worker.kill" tripped, all loops exit
+}
+
+// NewWorker builds a worker client.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults(), running: make(map[string]*runningJob)}
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run pulls and executes jobs until ctx is canceled, the coordinator
+// reports draining, or the "worker.kill" chaos site trips. In-flight
+// jobs finish and upload on graceful exits (drain, ctx cancel);
+// killed workers vanish without uploading, which is the lease-expiry
+// path's test harness.
+func (w *Worker) Run(ctx context.Context) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+
+	var slotWG sync.WaitGroup
+	for i := 0; i < w.cfg.Slots; i++ {
+		slotWG.Add(1)
+		go func(slot int) {
+			defer slotWG.Done()
+			w.slotLoop(ctx, slot)
+		}(i)
+	}
+	slotWG.Wait()
+	stopHB()
+	hbWG.Wait()
+	return ctx.Err()
+}
+
+func (w *Worker) isKilled() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killed
+}
+
+// slotLoop is one slot's pull-execute cycle.
+func (w *Worker) slotLoop(ctx context.Context, slot int) {
+	var arena *router.Arena
+	if !w.cfg.NoArena {
+		arena = router.NewArena()
+	}
+	for {
+		if ctx.Err() != nil || w.isKilled() {
+			return
+		}
+		resp, err := w.pull(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// The coordinator may be restarting (crash-replay e2e);
+			// keep polling.
+			w.sleep(ctx, w.cfg.PollInterval)
+			continue
+		}
+		if resp.Draining {
+			w.logf("worker %s slot %d: coordinator draining, exiting", w.cfg.ID, slot)
+			return
+		}
+		if resp.Job == nil {
+			continue
+		}
+		if ferr := w.cfg.Fault.Inject("worker.kill"); ferr != nil {
+			// Simulated process death: the job was leased to us and
+			// will never run; the coordinator's sweeper re-places it.
+			w.mu.Lock()
+			w.killed = true
+			w.mu.Unlock()
+			w.logf("worker %s: killed by fault injection holding job %s", w.cfg.ID, resp.Job.ID)
+			return
+		}
+		w.execute(ctx, resp.Job, arena)
+	}
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// execute runs one assignment under the panic barrier and uploads the
+// outcome. The flow and the marshaling are exactly what a standalone
+// worker does, so the uploaded bytes are the bytes a standalone
+// daemon would have served.
+func (w *Worker) execute(ctx context.Context, job *JobAssignment, arena *router.Arena) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	if job.TimeoutMS > 0 {
+		limit := time.Duration(job.TimeoutMS) * time.Millisecond
+		if job.Spec.Degrade {
+			// Same 2× backstop as the standalone worker's degrade mode.
+			limit *= 2
+		}
+		var tcancel context.CancelFunc
+		jobCtx, tcancel = context.WithTimeout(jobCtx, limit)
+		defer tcancel()
+	}
+	defer cancel()
+	w.mu.Lock()
+	w.running[job.ID] = &runningJob{lease: job.Lease, cancel: cancel}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.running, job.ID)
+		w.mu.Unlock()
+	}()
+
+	req := ResultRequest{WorkerID: w.cfg.ID, JobID: job.ID, Lease: job.Lease, Key: job.Key}
+	res, err, panicMsg := w.runGuarded(jobCtx, job, arena)
+	switch {
+	case panicMsg != "":
+		req.Panic = panicMsg
+	case err != nil:
+		req.Error = err.Error()
+		req.Canceled = jobCtx.Err() != nil
+	default:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			req.Error = fmt.Sprintf("marshal result: %v", merr)
+		} else {
+			req.Result = raw
+			req.Degraded = len(res.Degraded) > 0
+		}
+	}
+
+	w.mu.Lock()
+	abandoned := w.running[job.ID].abandoned
+	w.mu.Unlock()
+	if abandoned {
+		// The lease is gone and the job re-placed; our outcome is
+		// unwanted (an upload would be answered stale anyway).
+		w.logf("worker %s: job %s abandoned, dropping result", w.cfg.ID, job.ID)
+		return
+	}
+	if ctx.Err() != nil && req.Result == nil {
+		// Shutting down: a cancellation-induced failure must not fail
+		// the job on the coordinator — its lease will expire and the
+		// job will be re-placed. Finished results still upload below.
+		return
+	}
+	w.upload(req)
+}
+
+// runGuarded executes the flow under a recover barrier, mirroring the
+// standalone runAttempt.
+func (w *Worker) runGuarded(ctx context.Context, job *JobAssignment, arena *router.Arena) (res api.Result, err error, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	nl, perr := netlist.Read(strings.NewReader(job.Netlist))
+	if perr != nil {
+		return res, fmt.Errorf("netlist: %w", perr), ""
+	}
+	if ferr := w.cfg.Fault.Inject("worker.panic"); ferr != nil {
+		panic(ferr)
+	}
+	res, err = w.cfg.Run(ctx, nl, job.Spec, arena)
+	return
+}
+
+// upload posts the result with retries on a background context:
+// finished work should survive pull-loop shutdown, and a flaky
+// connection must not lose a computed result (the coordinator accepts
+// the first copy and no-ops duplicates).
+func (w *Worker) upload(req ResultRequest) {
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		var resp ResultResponse
+		err := w.post(ctx, PathResult, req, &resp)
+		cancel()
+		if err == nil {
+			w.logf("worker %s: job %s uploaded: %s", w.cfg.ID, req.JobID, resp.Status)
+			return
+		}
+		w.logf("worker %s: job %s upload failed (try %d): %v", w.cfg.ID, req.JobID, attempt+1, err)
+		time.Sleep(w.cfg.PollInterval)
+	}
+}
+
+// heartbeatLoop renews leases every HeartbeatEvery until ctx ends.
+// Lost leases cancel their executions and mark them abandoned.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if w.isKilled() {
+			return
+		}
+		if w.cfg.Fault.Inject("cluster.heartbeat.drop") != nil {
+			continue // dropped on the (simulated) network
+		}
+		req := HeartbeatRequest{WorkerID: w.cfg.ID, Jobs: make(map[string]string)}
+		w.mu.Lock()
+		for id, rj := range w.running {
+			if !rj.abandoned {
+				req.Jobs[id] = rj.lease
+			}
+		}
+		w.mu.Unlock()
+		hbCtx, cancel := context.WithTimeout(ctx, w.cfg.HeartbeatEvery)
+		var resp HeartbeatResponse
+		err := w.post(hbCtx, PathHeartbeat, req, &resp)
+		cancel()
+		if err != nil {
+			continue // partition or restart; leases expire on their own
+		}
+		for _, id := range resp.Lost {
+			w.mu.Lock()
+			rj := w.running[id]
+			if rj != nil && !rj.abandoned {
+				rj.abandoned = true
+				rj.cancel()
+			}
+			w.mu.Unlock()
+			if rj != nil {
+				w.logf("worker %s: lease on job %s lost, canceling", w.cfg.ID, id)
+			}
+		}
+	}
+}
+
+// pull asks for one assignment, long-polling up to PullWait.
+func (w *Worker) pull(ctx context.Context) (*PullResponse, error) {
+	req := PullRequest{WorkerID: w.cfg.ID, WaitMS: int(w.cfg.PullWait / time.Millisecond)}
+	// The request context outlives PullWait a little so the
+	// coordinator, not the client, ends the long-poll.
+	pctx, cancel := context.WithTimeout(ctx, w.cfg.PullWait+5*time.Second)
+	defer cancel()
+	var resp PullResponse
+	if err := w.post(pctx, PathPull, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// post is the JSON RPC helper: marshal, POST, decode, surfacing
+// non-2xx statuses as errors.
+func (w *Worker) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

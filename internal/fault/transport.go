@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Transport is an http.RoundTripper that threads cluster RPC traffic
+// through the injector, giving the chaos suite network-level faults
+// the in-process sites can't express:
+//
+//	"rpc.drop:<path>" — fail the request with ErrInjected before it is
+//	sent (a dropped/partitioned connection from the caller's view).
+//	"rpc.dup:<path>"  — deliver the request twice: a cloned copy is
+//	sent (and its response discarded) before the original, modeling an
+//	at-least-once retry layer duplicating a delivered request. This is
+//	the harness behind the idempotent-result-upload tests.
+//
+// Site names are keyed by URL path so a test can duplicate result
+// uploads without touching heartbeats. A nil injector (or Transport)
+// passes every request through untouched.
+type Transport struct {
+	// Base handles the actual round trips (http.DefaultTransport when
+	// nil).
+	Base http.RoundTripper
+	// Injector supplies the fault decisions; nil means no faults.
+	Injector *Injector
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t == nil || t.Base == nil {
+		return http.DefaultTransport
+	}
+	return t.Base
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var in *Injector
+	if t != nil {
+		in = t.Injector
+	}
+	if err := in.Inject("rpc.drop:" + req.URL.Path); err != nil {
+		return nil, fmt.Errorf("rpc %s: %w", req.URL.Path, err)
+	}
+	if err := in.Inject("rpc.dup:" + req.URL.Path); err != nil {
+		// Duplicate delivery: send a clone first and discard its
+		// response, then fall through to the original. GetBody is set by
+		// http.NewRequest for the byte-slice bodies the cluster RPCs
+		// use; a request without one can't be duplicated, so it is
+		// passed through singly.
+		if req.GetBody != nil {
+			dup := req.Clone(req.Context())
+			body, berr := req.GetBody()
+			if berr == nil {
+				dup.Body = body
+				if resp, derr := t.base().RoundTrip(dup); derr == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}
+	return t.base().RoundTrip(req)
+}

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func postVia(t *testing.T, tr *Transport, url, path, body string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (&http.Client{Transport: tr}).Do(req)
+}
+
+func TestTransportPassthrough(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+	}))
+	defer ts.Close()
+
+	// Nil injector and nil transport both pass through untouched.
+	resp, err := postVia(t, &Transport{}, ts.URL, "/x", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("hits %d, want 1", hits.Load())
+	}
+}
+
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	inj := New(1)
+	inj.Configure("rpc.drop:/a", SiteConfig{Times: 1})
+	tr := &Transport{Injector: inj}
+
+	if _, err := postVia(t, tr, ts.URL, "/a", "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server (%d hits)", hits.Load())
+	}
+	// Other paths are unaffected; the site only trips once.
+	for _, path := range []string{"/b", "/a"} {
+		resp, err := postVia(t, tr, ts.URL, path, "x")
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("hits %d, want 2", hits.Load())
+	}
+}
+
+func TestTransportDuplicate(t *testing.T) {
+	var bodies [][]byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, b)
+	}))
+	defer ts.Close()
+
+	inj := New(1)
+	inj.Configure("rpc.dup:/up", SiteConfig{Times: 1})
+	tr := &Transport{Injector: inj}
+
+	resp, err := postVia(t, tr, ts.URL, "/up", "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", len(bodies))
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) || string(bodies[0]) != "payload" {
+		t.Fatalf("deliveries differ: %q vs %q", bodies[0], bodies[1])
+	}
+	// Site exhausted: the next post delivers once.
+	resp, err = postVia(t, tr, ts.URL, "/up", "again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 3 {
+		t.Fatalf("server saw %d deliveries, want 3", len(bodies))
+	}
+}

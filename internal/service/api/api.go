@@ -45,6 +45,12 @@ type Result struct {
 	// Verify is the independent checker's verdict, present when the
 	// spec set "verify": true.
 	Verify *VerifyReport `json:"verify,omitempty"`
+	// Solution is the marshaled routed geometry (every net's polylines),
+	// present when the spec set "include_solution": true. It is a pure
+	// function of the input and spec — no timing fields — so it is the
+	// payload the distributed differential tests byte-compare across
+	// standalone and cluster topologies.
+	Solution json.RawMessage `json:"solution,omitempty"`
 }
 
 // VerifyReport is the wire form of internal/verify's report: the
@@ -69,6 +75,15 @@ func ResultFrom(spec bench.RunSpec, row bench.Row, art *bench.Artifacts) Result 
 	res.RemainingFVPs = art.RemainingFVPs
 	if art.Solution != nil {
 		res.InsertedVias = art.Solution.InsertedCount
+	}
+	if spec.IncludeSolution && art.Router != nil {
+		// Marshal before the caller releases the router to an arena: the
+		// bytes must never alias recycled routing state. Routes are plain
+		// exported structs, so a marshal error is unreachable; a nil
+		// Solution on the impossible path beats a panic.
+		if b, err := json.Marshal(art.Router.Routes()); err == nil {
+			res.Solution = b
+		}
 	}
 	if art.Verify != nil {
 		vr := &VerifyReport{Ok: art.Verify.Ok(), Truncated: art.Verify.Truncated}
@@ -111,6 +126,9 @@ type SubmitResponse struct {
 type JobResponse struct {
 	ID     string    `json:"id"`
 	Status JobStatus `json:"status"`
+	// Worker names the cluster worker the job was last placed on
+	// (coordinator mode; empty when the job ran in-process).
+	Worker string `json:"worker,omitempty"`
 	// Error carries the failure message when Status is "failed".
 	Error string `json:"error,omitempty"`
 	// CacheHit marks results served from the cache.

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/service/api"
+)
+
+// External dispatch: the seam internal/cluster builds on. In
+// coordinator mode (Config.ExternalExec) the Server keeps everything
+// it already does — validation, single-flight, content-addressed
+// cache, quarantine registry, durable journal — but no in-process
+// worker pool consumes the queue. Instead the coordinator Dequeues
+// Assignments, places them on remote workers, and drives them to a
+// terminal state through the Complete/Fail/Quarantine calls below.
+// Every transition goes through the same journal records and the same
+// exactly-once job.terminate gate as in-process execution, which is
+// what makes duplicate result uploads and stale-lease races safe: the
+// first terminal transition wins, later ones report false and change
+// nothing.
+
+// ErrDraining is returned by Dequeue once intake has been closed and
+// the queue fully drained: no further assignments will ever arrive.
+var ErrDraining = errors.New("service: draining, job queue closed")
+
+// DefaultRun is the real routing flow (route → TPL → DVI wrapped into
+// the api.Result schema). Cluster workers execute it out-of-process;
+// it is the same function standalone workers run, which is half of the
+// byte-identical-across-topologies argument (the other half is the
+// deterministic router itself).
+var DefaultRun RunFunc = defaultRun
+
+// Assignment is one dequeued job handed to an external placer. The
+// identity fields are immutable copies; the handle back to the job is
+// private so external callers can only move it through the Server's
+// exactly-once transitions.
+type Assignment struct {
+	ID  string
+	Key string
+	// Netlist is the submission text, re-parsed by the worker that
+	// executes the job (the coordinator never ships *netlist.Netlist
+	// pointers across the wire).
+	Netlist string
+	Spec    bench.RunSpec
+
+	j *job
+}
+
+// Attempts returns how many executions the job has consumed so far
+// (across panics, crashes and lease expiries — the journal preserves
+// the count over coordinator restarts).
+func (a *Assignment) Attempts() int { return a.j.attempts() }
+
+// MaxAttempts exposes the configured per-job attempt bound.
+func (s *Server) MaxAttempts() int { return s.cfg.MaxAttempts }
+
+// JobTimeout exposes the configured per-job deadline (zero = none).
+func (s *Server) JobTimeout() time.Duration { return s.cfg.JobTimeout }
+
+// Dequeue blocks for the next accepted job, the given context, or
+// drain. It is the external-exec replacement for the worker pool's
+// `range s.queue`; the channel receive keeps the same property that a
+// job is delivered to exactly one consumer.
+func (s *Server) Dequeue(ctx context.Context) (*Assignment, error) {
+	select {
+	case j, ok := <-s.queue:
+		if !ok {
+			return nil, ErrDraining
+		}
+		return &Assignment{ID: j.id, Key: j.key, Netlist: j.netlistText, Spec: j.spec, j: j}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// StartAttempt records the start of one placed execution: bumps the
+// attempt counter, stamps the placement, journals the running record
+// (with the worker name, so a crash replay knows where the job was)
+// and returns the attempt number.
+func (s *Server) StartAttempt(a *Assignment, placement string) int {
+	attempt := a.j.beginAttempt()
+	a.j.setPlacement(placement)
+	a.j.setRunning()
+	s.metrics.Routed.Add(1)
+	s.journalAppend(journalRecord{Type: recRunning, ID: a.ID, Key: a.Key, Attempt: attempt, Worker: placement})
+	s.logf("job %s attempt %d placed on %s", a.ID, attempt, placement)
+	return attempt
+}
+
+// Requeue returns a not-yet-terminal job to the queued state for
+// re-placement (lease expiry). The single-flight key stays held — the
+// job is still the one authoritative execution of its content address.
+func (s *Server) Requeue(a *Assignment) {
+	a.j.setQueued()
+}
+
+// CompleteExternal finishes a placed job with its marshaled result.
+// Exactly-once: the first completion wins and populates the cache
+// (unless degraded) before the single-flight key is released, so a
+// concurrent identical submission either coalesces onto the finished
+// job or hits the cache — never routes again. A second completion
+// (duplicate upload, stale lease) reports false and changes nothing.
+func (s *Server) CompleteExternal(a *Assignment, raw json.RawMessage, degraded bool, placement string) bool {
+	j := a.j
+	if !j.finish(raw, false) {
+		return false
+	}
+	j.setPlacement(placement)
+	if degraded {
+		// Degraded output is budget-dependent: never cached (same rule
+		// as in-process execution).
+		s.metrics.Degraded.Add(1)
+	} else {
+		s.cache.Add(j.key, raw)
+	}
+	s.metrics.Completed.Add(1)
+	s.journalAppend(journalRecord{Type: recDone, ID: j.id, Key: j.key, Attempt: j.attempts(), Result: raw, Degraded: degraded, Worker: placement})
+	s.releaseKey(j)
+	return true
+}
+
+// FailExternal fails a placed job. canceled marks failures caused by
+// timeout/shutdown for the Canceled counter.
+func (s *Server) FailExternal(a *Assignment, msg string, canceled bool) bool {
+	j := a.j
+	if !j.fail(msg) {
+		return false
+	}
+	if canceled {
+		s.metrics.Canceled.Add(1)
+	}
+	s.metrics.Failed.Add(1)
+	s.journalAppend(journalRecord{Type: recFailed, ID: j.id, Key: j.key, Attempt: j.attempts(), Error: msg})
+	s.releaseKey(j)
+	s.logf("job %s failed: %s", j.id, firstLine(msg))
+	return true
+}
+
+// FailInterrupted fails a job whose attempt budget was consumed by
+// worker deaths / lease expiries, with the same message the journal
+// replay uses for crash-interrupted jobs.
+func (s *Server) FailInterrupted(a *Assignment) bool {
+	return s.FailExternal(a, fmt.Sprintf("interrupted: job did not complete within %d attempts", s.cfg.MaxAttempts), false)
+}
+
+// QuarantineExternal quarantines a placed job's content address after
+// it panicked its worker on the last allowed attempt — the cluster
+// form of the poison-job isolation.
+func (s *Server) QuarantineExternal(a *Assignment, msg string) bool {
+	j := a.j
+	if !j.quarantine(msg) {
+		return false
+	}
+	s.mu.Lock()
+	s.quarantined[j.key] = quarInfo{id: j.id, msg: msg}
+	s.mu.Unlock()
+	s.metrics.Quarantined.Add(1)
+	s.metrics.Failed.Add(1)
+	s.journalAppend(journalRecord{Type: recQuarantined, ID: j.id, Key: j.key, Attempt: j.attempts(), Error: msg})
+	s.releaseKey(j)
+	s.logf("job %s quarantined: %s", j.id, firstLine(msg))
+	return true
+}
+
+// Lookup returns a stored job's wire response — how the coordinator
+// answers duplicate result uploads for already-terminal jobs.
+func (s *Server) Lookup(id string) (api.JobResponse, bool) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return api.JobResponse{}, false
+	}
+	return j.response(), true
+}
+
+// releaseKey drops the single-flight hold iff j still owns it.
+func (s *Server) releaseKey(j *job) {
+	s.mu.Lock()
+	if s.running[j.key] == j {
+		delete(s.running, j.key)
+	}
+	s.mu.Unlock()
+}

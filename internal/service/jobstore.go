@@ -24,12 +24,15 @@ type job struct {
 	// replays it on restart to re-run interrupted work.
 	netlistText string
 
-	mu       sync.Mutex
-	status   api.JobStatus   // guarded by mu
-	errMsg   string          // guarded by mu
-	result   json.RawMessage // guarded by mu
-	cacheHit bool            // guarded by mu
-	terminal bool            // guarded by mu
+	mu     sync.Mutex
+	status api.JobStatus // guarded by mu
+	errMsg string        // guarded by mu
+	// placement names the cluster worker the job was last placed on
+	// (coordinator mode; empty for in-process execution). guarded by mu
+	placement string
+	result    json.RawMessage // guarded by mu
+	cacheHit  bool            // guarded by mu
+	terminal  bool            // guarded by mu
 	// attempt counts executions of this job (1 on the first run); it
 	// survives restarts via the journal's running records and bounds
 	// both panic retries and crash-recovery re-enqueues. guarded by mu
@@ -47,6 +50,23 @@ func (j *job) setRunning() {
 	if !j.terminal {
 		j.status = api.StatusRunning
 	}
+	j.mu.Unlock()
+}
+
+// setQueued returns a live job to the queued state (cluster requeue
+// after a lease expiry).
+func (j *job) setQueued() {
+	j.mu.Lock()
+	if !j.terminal {
+		j.status = api.StatusQueued
+	}
+	j.mu.Unlock()
+}
+
+// setPlacement records which cluster worker holds the job.
+func (j *job) setPlacement(worker string) {
+	j.mu.Lock()
+	j.placement = worker
 	j.mu.Unlock()
 }
 
@@ -116,6 +136,7 @@ func (j *job) response() api.JobResponse {
 	return api.JobResponse{
 		ID:       j.id,
 		Status:   j.status,
+		Worker:   j.placement,
 		Error:    j.errMsg,
 		CacheHit: j.cacheHit,
 		Result:   j.result,

@@ -60,6 +60,10 @@ type journalRecord struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Error is the failure or quarantine message.
 	Error string `json:"error,omitempty"`
+	// Worker names the cluster worker an attempt was placed on
+	// (running/done records written by a coordinator; empty for
+	// in-process execution).
+	Worker string `json:"worker,omitempty"`
 }
 
 // journal is the append handle. Appends serialize under mu; each
@@ -222,6 +226,7 @@ type replayedJob struct {
 	result   json.RawMessage
 	degraded bool
 	errMsg   string
+	worker   string // last recorded placement
 }
 
 // foldJournal reduces a record stream to per-job state, in first-seen
@@ -241,6 +246,9 @@ func foldJournal(recs []journalRecord) []*replayedJob {
 		}
 		if rec.Attempt > rj.attempt {
 			rj.attempt = rec.Attempt
+		}
+		if rec.Worker != "" {
+			rj.worker = rec.Worker
 		}
 		return rj
 	}
@@ -293,7 +301,7 @@ func compactRecords(jobs []*replayedJob) []journalRecord {
 			spec := rj.spec
 			out = append(out, journalRecord{Type: recSubmit, ID: rj.id, Key: rj.key, Netlist: rj.netlist, Spec: &spec})
 			if rj.attempt > 0 {
-				out = append(out, journalRecord{Type: recRunning, ID: rj.id, Key: rj.key, Attempt: rj.attempt})
+				out = append(out, journalRecord{Type: recRunning, ID: rj.id, Key: rj.key, Attempt: rj.attempt, Worker: rj.worker})
 			}
 		}
 	}

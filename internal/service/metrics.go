@@ -3,7 +3,11 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics are the service's operational counters. All fields are
@@ -46,6 +50,15 @@ type Metrics struct {
 	// JournalErrors counts failed journal appends (injected or
 	// organic).
 	JournalErrors atomic.Int64
+	// ClusterRequeues counts jobs re-placed after a worker lease
+	// expired (coordinator mode only).
+	ClusterRequeues atomic.Int64
+	// ClusterDupResults counts duplicate result uploads accepted as
+	// no-ops (idempotent /cluster/v1/result).
+	ClusterDupResults atomic.Int64
+	// ClusterStaleResults counts result uploads that arrived under an
+	// expired lease.
+	ClusterStaleResults atomic.Int64
 }
 
 // Gauges are point-in-time values rendered next to the counters.
@@ -87,4 +100,111 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 		d = 1
 	}
 	gauge("sadprouted_draining", "1 while the service is draining for shutdown.", d)
+}
+
+// ClusterGauges are the coordinator's point-in-time values.
+type ClusterGauges struct {
+	// Workers is the count of workers with a fresh heartbeat.
+	Workers int
+	// LeasesActive is the count of jobs currently leased to workers.
+	LeasesActive int
+}
+
+// WriteCluster renders the cluster-scope counters, gauges and the
+// per-worker latency histogram; the coordinator appends it to the
+// service exposition on GET /metrics.
+func (m *Metrics) WriteCluster(w io.Writer, g ClusterGauges, h *LatencyHist) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("sadprouted_cluster_requeues_total", "Jobs re-placed after a worker lease expired.", m.ClusterRequeues.Load())
+	counter("sadprouted_cluster_duplicate_results_total", "Duplicate result uploads accepted as no-ops.", m.ClusterDupResults.Load())
+	counter("sadprouted_cluster_stale_results_total", "Result uploads that arrived under an expired lease.", m.ClusterStaleResults.Load())
+	gauge("sadprouted_cluster_workers", "Workers with a fresh heartbeat.", int64(g.Workers))
+	gauge("sadprouted_cluster_leases_active", "Jobs currently leased to workers.", int64(g.LeasesActive))
+	h.WritePrometheus(w, "sadprouted_cluster_job_seconds")
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen for
+// routing jobs that span tens of milliseconds (tiny suite) to minutes
+// (Table I circuits).
+var latencyBuckets = [...]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// LatencyHist is a fixed-bucket latency histogram partitioned by
+// worker, rendered in the Prometheus histogram exposition format. The
+// repo takes no dependencies, so it is hand-rolled like the rest of
+// this file.
+type LatencyHist struct {
+	mu      sync.Mutex
+	byLabel map[string]*histSeries // guarded by mu
+}
+
+// histSeries is one worker's observations. Instances are only touched
+// while the owning LatencyHist's mu is held.
+type histSeries struct {
+	counts [len(latencyBuckets) + 1]int64 // per-bucket (non-cumulative); last is +Inf
+	sum    float64
+	n      int64
+}
+
+// NewLatencyHist builds an empty histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{byLabel: make(map[string]*histSeries)}
+}
+
+// Observe records one job latency for the given worker.
+func (h *LatencyHist) Observe(worker string, d time.Duration) {
+	sec := d.Seconds()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.byLabel[worker]
+	if !ok {
+		s = &histSeries{}
+		h.byLabel[worker] = s
+	}
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	s.counts[i]++
+	s.sum += sec
+	s.n++
+}
+
+// WritePrometheus renders every worker's series under the given metric
+// name with a `worker` label, in sorted worker order so scrapes are
+// deterministic.
+func (h *LatencyHist) WritePrometheus(w io.Writer, name string) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s Job execution latency per worker.\n# TYPE %s histogram\n", name, name)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	workers := make([]string, 0, len(h.byLabel))
+	for worker := range h.byLabel {
+		workers = append(workers, worker)
+	}
+	sort.Strings(workers)
+	for _, worker := range workers {
+		s := h.byLabel[worker]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket{worker=%q,le=%q} %d\n", name, worker, formatBucket(ub), cum)
+		}
+		cum += s.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "%s_bucket{worker=%q,le=\"+Inf\"} %d\n", name, worker, cum)
+		fmt.Fprintf(w, "%s_sum{worker=%q} %g\n", name, worker, s.sum)
+		fmt.Fprintf(w, "%s_count{worker=%q} %d\n", name, worker, s.n)
+	}
+}
+
+// formatBucket renders an upper bound the way Prometheus expects
+// ("0.05", "1", "2.5") without float noise.
+func formatBucket(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
 }

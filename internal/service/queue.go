@@ -108,11 +108,7 @@ func (s *Server) runJob(j *job, arena *router.Arena) {
 		break
 	}
 
-	s.mu.Lock()
-	if s.running[j.key] == j {
-		delete(s.running, j.key)
-	}
-	s.mu.Unlock()
+	s.releaseKey(j)
 }
 
 // runAttempt executes one attempt of the flow under the panic

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -93,6 +94,13 @@ type Config struct {
 	// for operators who prefer degraded results over deadline
 	// failures.
 	DegradeByDefault bool
+	// ExternalExec disables the in-process worker pool: accepted jobs
+	// stay on the queue until an external placer (the cluster
+	// coordinator) Dequeues them and drives them to a terminal state
+	// through StartAttempt/CompleteExternal and friends. Everything
+	// else — validation, single-flight, cache, quarantine, journal —
+	// behaves identically.
+	ExternalExec bool
 	// Fault, when non-nil, arms the deterministic fault-injection
 	// sites (journal appends, worker execution, cache operations).
 	// Nil — the production configuration — makes every site a no-op.
@@ -166,9 +174,10 @@ type Server struct {
 	running     map[string]*job     // guarded by mu; key → queued-or-running job (single-flight)
 	quarantined map[string]quarInfo // guarded by mu
 
-	wg       sync.WaitGroup // worker pool
-	inflight atomic.Int64
-	seq      atomic.Int64
+	wg          sync.WaitGroup // worker pool
+	inflight    atomic.Int64
+	seq         atomic.Int64
+	journalOnce sync.Once // closes the journal exactly once across CloseIntake/Shutdown
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -225,7 +234,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	s.startWorkers()
+	if !cfg.ExternalExec {
+		s.startWorkers()
+	}
 	return s, nil
 }
 
@@ -242,6 +253,7 @@ func (s *Server) recover(jobs []*replayedJob) error {
 		}
 		j := newJob(rj.id, rj.key, nil, rj.spec)
 		j.attempt = rj.attempt
+		j.placement = rj.worker
 		switch rj.status {
 		case api.StatusDone:
 			j.finish(rj.result, false)
@@ -315,13 +327,7 @@ func (s *Server) Handler() http.Handler {
 // canceled (they abort at their next router iteration boundary) and
 // the drain is still awaited before returning ctx.Err().
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	already := s.closed
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
+	s.CloseIntake()
 
 	done := make(chan struct{})
 	go func() {
@@ -336,10 +342,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
-	if !already {
-		s.journal.Close()
-	}
+	s.journalOnce.Do(func() { s.journal.Close() })
 	return err
+}
+
+// CloseIntake stops new submissions and closes the queue (idempotent).
+// The journal stays open: the cluster coordinator calls this first,
+// keeps journaling terminal transitions for jobs still on workers, and
+// only then calls Shutdown.
+func (s *Server) CloseIntake() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -508,10 +525,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.WriteMetrics(w)
+}
+
+// WriteMetrics renders the Prometheus text exposition, sampling the
+// live gauges. Exported so the cluster coordinator can compose it with
+// its own cluster-scope metrics on one /metrics endpoint.
+func (s *Server) WriteMetrics(w io.Writer) {
 	s.mu.Lock()
 	draining := s.closed
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w, Gauges{
 		QueueDepth: len(s.queue),
 		Inflight:   int(s.inflight.Load()),

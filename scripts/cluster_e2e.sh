@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Cluster differential e2e: proves the distributed invariant from the
+# outside, with real processes and real kill -9.
+#
+#   1. Standalone reference: one sadprouted routes the job set.
+#   2. Worker-kill scenario: coordinator + worker A; A is killed -9
+#      mid-run; worker B joins; every job must finish with results
+#      byte-identical to the standalone run (leases expired, jobs
+#      re-placed, nothing lost or double-completed).
+#   3. Coordinator-crash scenario: the coordinator itself is killed -9
+#      while a job is leased, restarted on the same address and
+#      journal; the job must replay and finish identically.
+#
+# Results are compared as jq projections of {wl, vias, dv, uv,
+# solution}: the solution payload is the full routed geometry and is
+# required byte-identical; CPU-time fields are excluded by
+# construction. On failure the projections are left in $WORK for
+# artifact upload.
+set -euo pipefail
+
+BIN=${BIN:-/tmp/sadprouted}
+BENCHGEN=${BENCHGEN:-/tmp/benchgen}
+WORK=${WORK:-$(mktemp -d /tmp/cluster-e2e.XXXXXX)}
+# div-s at scale 4 routes in ~1s — long enough to reliably kill a
+# process mid-job; the -s siblings are quick fillers that make the
+# re-placement shuffle non-trivial.
+CIRCUITS=${CIRCUITS:-"ecc-s efc-s ctl-s div-s"}
+
+echo "== cluster e2e: workdir $WORK"
+# Always rebuild: a stale binary from an earlier checkout silently
+# rejects newer RunSpec fields. Incremental builds make this cheap.
+go build -o "$BIN" ./cmd/sadprouted
+go build -o "$BENCHGEN" ./cmd/benchgen
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+mkdir -p "$WORK/nets"
+"$BENCHGEN" -scale 4 -out "$WORK/nets" > /dev/null
+
+SPEC='{scheme: "sim", consider_dvi: true, consider_tpl: true, method: "heur", verify: true, include_solution: true}'
+for c in $CIRCUITS; do
+  jq -Rs "{netlist: ., spec: $SPEC}" "$WORK/nets/$c.net" > "$WORK/$c.job.json"
+done
+
+wait_addr() { # $1=addr-file
+  for _ in $(seq 100); do [ -s "$1" ] && { cat "$1"; return 0; }; sleep 0.1; done
+  echo "no listen address in $1" >&2; return 1
+}
+
+submit() { # $1=addr $2=circuit -> job id
+  curl -sf -d @"$WORK/$2.job.json" "http://$1/v1/jobs" | jq -r .id
+}
+
+job_status() { # $1=addr $2=job-id
+  curl -sf "http://$1/v1/jobs/$2" | jq -r .status
+}
+
+poll_projection() { # $1=addr $2=job-id $3=output-file
+  local status=queued
+  for _ in $(seq 600); do
+    status=$(job_status "$1" "$2")
+    [ "$status" = done ] && break
+    [ "$status" = failed ] && { curl -s "http://$1/v1/jobs/$2" | jq .; return 1; }
+    sleep 0.2
+  done
+  [ "$status" = done ] || { echo "job $2 stuck in $status" >&2; return 1; }
+  curl -sf "http://$1/v1/jobs/$2" | jq -e '.result.verify.ok == true' > /dev/null
+  curl -sf "http://$1/v1/jobs/$2" | \
+    jq '{wl: .result.row.wl, vias: .result.row.vias, dv: .result.row.dv, uv: .result.row.uv, solution: .result.solution}' > "$3"
+}
+
+# ---- 1. Standalone reference -------------------------------------
+echo "== standalone reference"
+rm -f "$WORK/ref.addr"
+"$BIN" -addr 127.0.0.1:0 -addr-file "$WORK/ref.addr" -workers 2 -quiet > "$WORK/ref.log" 2>&1 &
+REF_PID=$!; PIDS+=("$REF_PID")
+ADDR=$(wait_addr "$WORK/ref.addr")
+declare -A REF_JOB
+for c in $CIRCUITS; do REF_JOB[$c]=$(submit "$ADDR" "$c"); done
+for c in $CIRCUITS; do poll_projection "$ADDR" "${REF_JOB[$c]}" "$WORK/ref.$c.json"; done
+kill -TERM $REF_PID; wait $REF_PID
+
+# ---- 2. Coordinator + 2 workers, one killed mid-run --------------
+echo "== cluster: worker killed -9 mid-run"
+rm -f "$WORK/coord.addr"
+"$BIN" -mode coordinator -addr 127.0.0.1:0 -addr-file "$WORK/coord.addr" \
+  -data-dir "$WORK/coord-data" -lease-ttl 2s -quiet > "$WORK/coord.log" 2>&1 &
+COORD_PID=$!; PIDS+=("$COORD_PID")
+ADDR=$(wait_addr "$WORK/coord.addr")
+"$BIN" -mode worker -coordinator-addr "http://$ADDR" -worker-id wA -workers 1 -quiet > "$WORK/wA.log" 2>&1 &
+WA_PID=$!; PIDS+=("$WA_PID")
+
+declare -A CL_JOB
+for c in $CIRCUITS; do CL_JOB[$c]=$(submit "$ADDR" "$c"); done
+# Kill worker A the moment the long job is running on it.
+for _ in $(seq 300); do
+  [ "$(job_status "$ADDR" "${CL_JOB[div-s]}")" = running ] && break
+  sleep 0.05
+done
+kill -9 $WA_PID; wait $WA_PID 2>/dev/null || true
+echo "   worker A killed while div-s was $(job_status "$ADDR" "${CL_JOB[div-s]}")"
+"$BIN" -mode worker -coordinator-addr "http://$ADDR" -worker-id wB -workers 2 -quiet > "$WORK/wB.log" 2>&1 &
+WB_PID=$!; PIDS+=("$WB_PID")
+
+for c in $CIRCUITS; do poll_projection "$ADDR" "${CL_JOB[$c]}" "$WORK/cluster.$c.json"; done
+curl -sf "http://$ADDR/metrics" | grep -E '^sadprouted_cluster_requeues_total [1-9]' > /dev/null \
+  || { echo "expected at least one cluster requeue" >&2; exit 1; }
+# Exactly one completion per job: nothing lost, nothing duplicated.
+COMPLETED=$(curl -sf "http://$ADDR/metrics" | awk '/^sadprouted_jobs_completed_total /{print $2}')
+[ "$COMPLETED" = "$(echo $CIRCUITS | wc -w)" ] \
+  || { echo "completed=$COMPLETED, want $(echo $CIRCUITS | wc -w)" >&2; exit 1; }
+kill -TERM $WB_PID; wait $WB_PID 2>/dev/null || true
+kill -TERM $COORD_PID; wait $COORD_PID
+
+for c in $CIRCUITS; do
+  diff "$WORK/ref.$c.json" "$WORK/cluster.$c.json" \
+    || { echo "worker-kill scenario: $c diverged from standalone" >&2; exit 1; }
+done
+echo "   worker-kill scenario byte-identical to standalone"
+
+# ---- 3. Coordinator killed -9 mid-dispatch, journal replay -------
+echo "== cluster: coordinator killed -9 mid-dispatch"
+rm -f "$WORK/coord2.addr"
+"$BIN" -mode coordinator -addr 127.0.0.1:0 -addr-file "$WORK/coord2.addr" \
+  -data-dir "$WORK/coord2-data" -lease-ttl 2s -quiet > "$WORK/coord2.log" 2>&1 &
+COORD_PID=$!; PIDS+=("$COORD_PID")
+ADDR=$(wait_addr "$WORK/coord2.addr")
+"$BIN" -mode worker -coordinator-addr "http://$ADDR" -worker-id wC -workers 1 -quiet > "$WORK/wC.log" 2>&1 &
+WC_PID=$!; PIDS+=("$WC_PID")
+
+JOB=$(submit "$ADDR" div-s)
+for _ in $(seq 300); do
+  [ "$(job_status "$ADDR" "$JOB")" = running ] && break
+  sleep 0.05
+done
+kill -9 $COORD_PID; wait $COORD_PID 2>/dev/null || true
+echo "   coordinator killed while $JOB was leased to wC"
+# Restart on the SAME address and journal: the leased-but-unfinished
+# job replays as queued; the surviving worker reconnects (its pull
+# loop retries) and the job completes exactly once.
+"$BIN" -mode coordinator -addr "$ADDR" -data-dir "$WORK/coord2-data" -lease-ttl 2s -quiet > "$WORK/coord2b.log" 2>&1 &
+COORD_PID=$!; PIDS+=("$COORD_PID")
+for _ in $(seq 100); do curl -sf "http://$ADDR/healthz" > /dev/null 2>&1 && break; sleep 0.1; done
+
+poll_projection "$ADDR" "$JOB" "$WORK/replayed.div-s.json"
+diff "$WORK/ref.div-s.json" "$WORK/replayed.div-s.json" \
+  || { echo "coordinator-crash scenario: div-s diverged from standalone" >&2; exit 1; }
+COMPLETED=$(curl -sf "http://$ADDR/metrics" | awk '/^sadprouted_jobs_completed_total /{print $2}')
+[ "$COMPLETED" = 1 ] || { echo "completed=$COMPLETED after replay, want 1" >&2; exit 1; }
+echo "   coordinator-crash scenario byte-identical to standalone"
+
+kill -TERM $WC_PID; wait $WC_PID 2>/dev/null || true
+kill -TERM $COORD_PID; wait $COORD_PID
+echo "== cluster e2e OK"
