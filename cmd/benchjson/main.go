@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchjson [-suite tiny|scaled|full] [-scale 4] [-label after]
+//	benchjson [-suite tiny|scaled|full|multipin] [-scale 4] [-label after]
 //	          [-iters 3] [-workers 1] [-out BENCH_1.json]
 //	          [-baseline BENCH_1.json] [-tolerance 3]
 //
@@ -67,7 +67,7 @@ type Circuit struct {
 }
 
 func main() {
-	suiteFlag := flag.String("suite", "", "suite to run: tiny, scaled or full (default tiny, or REPRO_BENCH_SCALE)")
+	suiteFlag := flag.String("suite", "", "suite to run: tiny, scaled, full or multipin (default tiny, or REPRO_BENCH_SCALE)")
 	scale := flag.Int("scale", 4, "shrink factor for -suite scaled")
 	label := flag.String("label", "run", "label of this run (e.g. seed, after)")
 	iters := flag.Int("iters", 3, "routing repetitions per circuit (minimum time is recorded)")
@@ -139,6 +139,8 @@ func pickSuite(name string, scale int) ([]bench.Circuit, string, error) {
 		return bench.ScaledSuite(scale), fmt.Sprintf("scaled/%d", scale), nil
 	case "full":
 		return bench.Suite(), "full", nil
+	case "multipin":
+		return bench.TinyMultiPinSuite(), "multipin", nil
 	case "":
 		// Back-compat: the env knob predates the -suite flag.
 		if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
@@ -148,7 +150,7 @@ func pickSuite(name string, scale int) ([]bench.Circuit, string, error) {
 		}
 		return bench.TinySuite(), "tiny", nil
 	}
-	return nil, "", fmt.Errorf("unknown -suite %q (want tiny, scaled or full)", name)
+	return nil, "", fmt.Errorf("unknown -suite %q (want tiny, scaled, full or multipin)", name)
 }
 
 // writeRun appends the run to path (or the first free BENCH_<n>.json).

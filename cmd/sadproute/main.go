@@ -27,6 +27,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/decompose"
 	"repro/internal/netlist"
+	"repro/internal/router"
 	"repro/internal/service/api"
 )
 
@@ -42,6 +43,7 @@ func run() (code int) {
 	considerDVI := flag.Bool("dvi", false, "consider DVI during routing (BDC/AMC/CDC)")
 	considerTPL := flag.Bool("tpl", false, "consider via-layer TPL during routing")
 	method := flag.String("method", "heur", "post-routing DVI: heur, ilp, or none")
+	topology := flag.String("topology", "steiner", "multi-pin decomposition: steiner or star")
 	ilpTime := flag.Duration("ilptime", time.Minute, "ILP time limit")
 	check := flag.Bool("check", false, "run the SADP mask decomposition DRC on the result")
 	doVerify := flag.Bool("verify", false, "re-check the result with the independent internal/verify checker; exit 1 on violations")
@@ -104,12 +106,17 @@ func run() (code int) {
 	if err != nil {
 		return fail(fmt.Errorf("-method: %w", err))
 	}
+	topo, err := router.ParseTopologyKind(*topology)
+	if err != nil {
+		return fail(fmt.Errorf("-topology: %w", err))
+	}
 	spec := bench.RunSpec{
 		Scheme:       typ,
 		ConsiderDVI:  *considerDVI,
 		ConsiderTPL:  *considerTPL,
 		Method:       meth,
 		ILPTimeLimit: *ilpTime,
+		Topology:     topo,
 		Workers:      *workers,
 		Seed:         *seed,
 		Verify:       *doVerify,

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	stress [-seed 1] [-budget 30s] [-trials 0] [-ilptime 2s] [-out dir] [-q]
+//	stress [-seed 1] [-budget 30s] [-trials 0] [-ilptime 2s] [-maxpins 0]
+//	       [-out dir] [-q]
 //
 // Exit status 0 means every check passed; 1 means a reproducible
 // failure was found (and dumped); 2 means bad usage.
@@ -30,6 +31,7 @@ func run() int {
 	budget := flag.Duration("budget", 30*time.Second, "wall-clock budget")
 	trials := flag.Int("trials", 0, "additional trial cap (0 = budget only)")
 	ilpTime := flag.Duration("ilptime", 2*time.Second, "per-instance ILP time limit")
+	maxPins := flag.Int("maxpins", 0, "draw pin counts uniformly from [2, maxpins] (0 = classic 2-pin-heavy mix)")
 	out := flag.String("out", "", "directory for the minimal reproducer on failure")
 	quiet := flag.Bool("q", false, "suppress per-trial progress")
 	flag.Parse()
@@ -43,6 +45,7 @@ func run() int {
 		Budget:       *budget,
 		MaxTrials:    *trials,
 		ILPTimeLimit: *ilpTime,
+		MaxPins:      *maxPins,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...interface{}) {

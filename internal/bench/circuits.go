@@ -24,6 +24,12 @@ type Circuit struct {
 	Nets int
 	W, H int
 	Seed int64
+	// MaxPins, when positive, replaces the default 2-heavy pin-count
+	// distribution with a uniform draw over [2, MaxPins] — the
+	// multi-pin stress shape. Zero keeps the standard-cell-like
+	// distribution (2: 60%, 3: 25%, 4: 10%, 5: 5%) and leaves every
+	// pre-existing suite bit-identical.
+	MaxPins int
 }
 
 // Suite returns the six circuits of Table I at full size.
@@ -70,6 +76,19 @@ func TinySuite() []Circuit {
 	}
 }
 
+// TinyMultiPinSuite is the multi-pin counterpart of TinySuite: the
+// same three miniatures with pin counts drawn uniformly from [2, 6],
+// so Steiner decomposition, trunk sharing and k-pin verification all
+// exercise on every circuit. Grids are slightly larger than TinySuite
+// to keep the denser pin population routable.
+func TinyMultiPinSuite() []Circuit {
+	return []Circuit{
+		{Name: "ecc-mp", Nets: 22, W: 58, H: 58, Seed: 201, MaxPins: 6},
+		{Name: "efc-mp", Nets: 28, W: 56, H: 56, Seed: 202, MaxPins: 6},
+		{Name: "ctl-mp", Nets: 36, W: 64, H: 64, Seed: 203, MaxPins: 6},
+	}
+}
+
 // Generate builds the synthetic placed netlist for a circuit.
 //
 // Placement model: each net gets a cluster center; pins scatter in a
@@ -89,7 +108,7 @@ func Generate(c Circuit) *netlist.Netlist {
 		} else {
 			span = 12 + rng.Intn(28)
 		}
-		pins := pickPinCount(rng)
+		pins := pickPinCount(rng, c.MaxPins)
 		for tries := 0; len(n.Pins) < pins && tries < 4000; tries++ {
 			p := geom.XY(
 				clampInt(cx+rng.Intn(2*span+1)-span, 0, c.W-1),
@@ -118,9 +137,17 @@ func Generate(c Circuit) *netlist.Netlist {
 	return nl
 }
 
-// pickPinCount draws from a 2-heavy distribution (2: 60%, 3: 25%,
-// 4: 10%, 5: 5%), matching typical standard-cell netlists.
-func pickPinCount(rng *rand.Rand) int {
+// pickPinCount draws the net's pin count. With maxPins > 0 it draws
+// uniformly from [2, maxPins]; otherwise from the 2-heavy distribution
+// (2: 60%, 3: 25%, 4: 10%, 5: 5%) matching typical standard-cell
+// netlists.
+func pickPinCount(rng *rand.Rand, maxPins int) int {
+	if maxPins > 0 {
+		if maxPins < 2 {
+			maxPins = 2
+		}
+		return 2 + rng.Intn(maxPins-1)
+	}
 	switch r := rng.Float64(); {
 	case r < 0.60:
 		return 2

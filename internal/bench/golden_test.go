@@ -14,7 +14,7 @@ import (
 	"repro/internal/coloring"
 )
 
-var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_tiny.json from the current code")
+var updateGolden = flag.Bool("update", false, "rewrite the testdata golden files from the current code")
 
 // goldenEntry pins every machine-independent metric of one tiny-suite
 // configuration. CPU timings are deliberately absent.
@@ -90,7 +90,74 @@ func TestGoldenTinySuite(t *testing.T) {
 		}
 	}
 
-	path := filepath.Join("testdata", "golden_tiny.json")
+	compareGolden(t, "golden_tiny.json", got)
+}
+
+// TestGoldenMultiPinSuite pins the multi-pin tiny suite (pin counts
+// uniform in [2, 6], Steiner decomposition) the same way: both SADP
+// modes, both DVI methods, independent verification, exact metric
+// match against testdata/golden_multipin.json.
+func TestGoldenMultiPinSuite(t *testing.T) {
+	type cfg struct {
+		ckt    Circuit
+		scheme coloring.SADPType
+		method DVIMethod
+	}
+	var cfgs []cfg
+	for _, ckt := range TinyMultiPinSuite() {
+		for _, scheme := range []coloring.SADPType{coloring.SIM, coloring.SID} {
+			for _, method := range []DVIMethod{HeurDVI, ILPDVI} {
+				cfgs = append(cfgs, cfg{ckt, scheme, method})
+			}
+		}
+	}
+	got := make([]goldenEntry, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, c := range cfgs {
+		wg.Add(1)
+		go func(i int, c cfg) {
+			defer wg.Done()
+			spec := RunSpec{
+				Scheme: c.scheme, ConsiderDVI: true, ConsiderTPL: true,
+				Method: c.method, ILPTimeLimit: 10 * time.Minute,
+				ILPNodeLimit: goldenILPNodeLimit,
+				Verify:       true,
+			}
+			row, art, err := Run(Generate(c.ckt), spec)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%v/%v: %w", c.ckt.Name, c.scheme, c.method, err)
+				return
+			}
+			if verr := art.Verify.Err(); verr != nil {
+				errs[i] = fmt.Errorf("%s/%v/%v: verifier: %w", c.ckt.Name, c.scheme, c.method, verr)
+				return
+			}
+			if art.Router.Stats().SteinerNets == 0 {
+				errs[i] = fmt.Errorf("%s/%v/%v: no net used the Steiner topology", c.ckt.Name, c.scheme, c.method)
+				return
+			}
+			got[i] = goldenEntry{
+				Circuit: c.ckt.Name, Scheme: c.scheme.String(), Method: c.method.String(),
+				WL: row.WL, Vias: row.Vias, DV: row.DV, UV: row.UV,
+				Inserted: art.Solution.InsertedCount,
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareGolden(t, "golden_multipin.json", got)
+}
+
+// compareGolden matches the computed entries against the named golden
+// file in testdata, or rewrites the file under -update.
+func compareGolden(t *testing.T, file string, got []goldenEntry) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -108,7 +175,7 @@ func TestGoldenTinySuite(t *testing.T) {
 
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("missing golden file (run `go test ./internal/bench -run TestGoldenTinySuite -update`): %v", err)
+		t.Fatalf("missing golden file (rerun this test with -update): %v", err)
 	}
 	var want []goldenEntry
 	if err := json.Unmarshal(raw, &want); err != nil {

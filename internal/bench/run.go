@@ -121,6 +121,11 @@ type RunSpec struct {
 	// the knob exists for differential testing. Zero/absent = the
 	// default Dial bucket queue.
 	Queue router.QueueKind `json:"queue,omitempty"`
+	// Topology selects the multi-pin net decomposition
+	// (router.Config.Topology). Zero/absent = the Steiner tree
+	// generator; "star" restores the legacy greedy order. Unlike Queue
+	// this changes routed geometry on nets with three or more pins.
+	Topology router.TopologyKind `json:"topology,omitempty"`
 	// Workers bounds the intra-router parallelism (router.Config
 	// Workers); routing output is identical for any value.
 	Workers int `json:"workers,omitempty"`
@@ -201,6 +206,7 @@ func RunContextArena(ctx context.Context, nl *netlist.Netlist, spec RunSpec, are
 		ConsiderTPL: spec.ConsiderTPL,
 		Params:      spec.Params,
 		Queue:       spec.Queue,
+		Topology:    spec.Topology,
 		Workers:     spec.Workers,
 		Seed:        spec.Seed,
 		Arena:       arena,

@@ -41,11 +41,18 @@ func diffSpec() bench.RunSpec {
 	}
 }
 
-// submitSuite submits every tiny-suite circuit and returns job ids by
-// circuit name.
-func submitSuite(t *testing.T, ts *httptest.Server) map[string]string {
+// diffSuite is the differential job set: the tiny suite plus its
+// multi-pin counterpart, so every topology also routes k-pin nets
+// through the Steiner decomposition (and the RunSpec for them round
+// trips over the cluster wire format).
+func diffSuite() []bench.Circuit {
+	return append(bench.TinySuite(), bench.TinyMultiPinSuite()...)
+}
+
+// submitSuite submits every circuit under the spec and returns job ids
+// by circuit name.
+func submitSuite(t *testing.T, ts *httptest.Server, circuits []bench.Circuit, spec bench.RunSpec) map[string]string {
 	t.Helper()
-	circuits := bench.TinySuite()
 	ids := make(map[string]string, len(circuits))
 	for _, c := range circuits {
 		nl := bench.Generate(c)
@@ -53,7 +60,7 @@ func submitSuite(t *testing.T, ts *httptest.Server) map[string]string {
 		if err := nl.Write(&buf); err != nil {
 			t.Fatal(err)
 		}
-		sr := submit(t, ts, buf.String(), diffSpec())
+		sr := submit(t, ts, buf.String(), spec)
 		ids[c.Name] = sr.ID
 	}
 	return ids
@@ -93,9 +100,9 @@ func collectSuite(t *testing.T, ts *httptest.Server, ids map[string]string) map[
 }
 
 // runSuite is submit + collect in one step.
-func runSuite(t *testing.T, ts *httptest.Server) map[string]outcome {
+func runSuite(t *testing.T, ts *httptest.Server, circuits []bench.Circuit, spec bench.RunSpec) map[string]outcome {
 	t.Helper()
-	return collectSuite(t, ts, submitSuite(t, ts))
+	return collectSuite(t, ts, submitSuite(t, ts, circuits, spec))
 }
 
 func compareOutcomes(t *testing.T, label string, want, got map[string]outcome) {
@@ -125,14 +132,14 @@ func TestDifferentialTopologies(t *testing.T) {
 		t.Fatal(err)
 	}
 	tsA := httptest.NewServer(sa.Handler())
-	ref := runSuite(t, tsA)
+	ref := runSuite(t, tsA, diffSuite(), diffSpec())
 	tsA.Close()
 	sa.Shutdown(context.Background())
 
 	// Topology B: coordinator + 1 worker.
 	_, _, tsB := newCluster(t, service.Config{Run: service.DefaultRun}, CoordinatorConfig{})
 	startWorker(t, WorkerConfig{Coordinator: tsB.URL, ID: "b1", Slots: 2, Run: service.DefaultRun})
-	compareOutcomes(t, "coordinator+1", ref, runSuite(t, tsB))
+	compareOutcomes(t, "coordinator+1", ref, runSuite(t, tsB, diffSuite(), diffSpec()))
 
 	// Topology C: coordinator + 3 workers, one of which dies holding a
 	// job; the lease expires and the job is re-placed on a survivor.
@@ -145,7 +152,7 @@ func TestDifferentialTopologies(t *testing.T) {
 	inj := fault.New(7)
 	inj.Configure("worker.kill", fault.SiteConfig{Times: 1})
 	startWorker(t, WorkerConfig{Coordinator: tsC.URL, ID: "c-doomed", Run: service.DefaultRun, Fault: inj})
-	idsC := submitSuite(t, tsC)
+	idsC := submitSuite(t, tsC, diffSuite(), diffSpec())
 	deadline := time.Now().Add(10 * time.Second)
 	for inj.Trips("worker.kill") == 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
@@ -163,4 +170,30 @@ func TestDifferentialTopologies(t *testing.T) {
 	if got := svcC.Metrics().ClusterRequeues.Load(); got < 1 {
 		t.Fatalf("ClusterRequeues %d, want >= 1 (the killed worker held a job)", got)
 	}
+}
+
+// TestDifferentialWorkersMultiPin pins the other determinism axis for
+// k-pin nets: the routed Solution bytes of the multi-pin suite must be
+// identical for any intra-router Workers value. Workers changes spec
+// bytes (so nothing is answered from the result cache) but must never
+// change output.
+func TestDifferentialWorkersMultiPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real routing flow; skipped in -short")
+	}
+	sv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Shutdown(context.Background())
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	spec1 := diffSpec()
+	spec1.Workers = 1
+	ref := runSuite(t, ts, bench.TinyMultiPinSuite(), spec1)
+
+	spec4 := diffSpec()
+	spec4.Workers = 4
+	compareOutcomes(t, "workers=4 vs workers=1", ref, runSuite(t, ts, bench.TinyMultiPinSuite(), spec4))
 }

@@ -31,6 +31,13 @@ func FuzzRead(f *testing.F) {
 		"netlist t 8 8 2\r\nnet a 1 1 5 1\r\n",              // CRLF
 		"netlist t 8 8 2\nnet é 1 1 5 1\n",                  // non-ASCII name
 		"netlist a 8 8 2\nnetlist b 6 6 2\nnet a 1 1 2 2\n", // repeated header
+		// k-pin nets: the extended multi-pin format is the same line
+		// grammar with more coordinate pairs.
+		"netlist t 12 12 2\nnet a 1 1 5 1 3 4\n",                               // 3-pin
+		"netlist t 12 12 2\nnet a 0 0 11 0 0 11 11 11 5 6\n",                   // 5-pin
+		"netlist t 16 16 3\nnet a 1 1 9 2 4 7 12 12 2 9 14 3\nnet b 0 5 8 8\n", // 6-pin + 2-pin
+		"netlist t 12 12 2\nnet a 1 1 5 1 1 1\n",                               // duplicate among k pins
+		"netlist t 12 12 2\nnet a 1 1 5 1 5 12\n",                              // k-pin with one pin out of grid
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -42,6 +49,19 @@ func FuzzRead(f *testing.F) {
 		}
 		if err := nl.Validate(); err != nil {
 			t.Fatalf("Read accepted a netlist that fails Validate: %v\ninput: %q", err, s)
+		}
+		for _, n := range nl.Nets {
+			if len(n.Pins) < 2 {
+				t.Fatalf("accepted net %q with %d pins\ninput: %q", n.Name, len(n.Pins), s)
+			}
+			seen := map[[2]int]bool{}
+			for _, p := range n.Pins {
+				k := [2]int{p.X, p.Y}
+				if seen[k] {
+					t.Fatalf("accepted net %q with duplicate pin %v\ninput: %q", n.Name, p, s)
+				}
+				seen[k] = true
+			}
 		}
 		var buf bytes.Buffer
 		if err := nl.Write(&buf); err != nil {

@@ -10,12 +10,29 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/geom"
+)
+
+// Typed degenerate-net errors. Validate (and therefore Read) wraps
+// them with the net's name, so callers can branch with errors.Is while
+// messages stay self-describing.
+var (
+	// ErrTooFewPins reports a net with fewer than two pins: a 0- or
+	// 1-pin net has nothing to route and would silently verify as
+	// trivially connected.
+	ErrTooFewPins = errors.New("net has fewer than two pins")
+	// ErrDuplicatePin reports a net listing the same pin location more
+	// than once. Duplicates are always authoring mistakes (a pin is a
+	// placed terminal; two terminals cannot share a cell), and every
+	// downstream dedup would mask the mistake, so the boundary rejects
+	// them.
+	ErrDuplicatePin = errors.New("net lists the same pin twice")
 )
 
 // Net is a single net: a set of pin locations to be connected.
@@ -25,7 +42,9 @@ type Net struct {
 	// Name is a human-readable identifier.
 	Name string
 	// Pins are the pin locations on the lowest routing layer. A legal
-	// net has at least two distinct pins.
+	// net has at least two pins, all distinct (any k ≥ 2 is allowed;
+	// multi-pin nets are decomposed by the router's topology
+	// generator).
 	Pins []geom.Pt
 }
 
@@ -55,7 +74,8 @@ type Netlist struct {
 
 // Validate checks structural sanity: positive dimensions, at least two
 // routing layers, every pin in bounds, every net with at least two
-// distinct pins, and consistent net IDs.
+// pins and no duplicate pins (ErrTooFewPins / ErrDuplicatePin), and
+// consistent net IDs.
 func (nl *Netlist) Validate() error {
 	if nl.W <= 0 || nl.H <= 0 {
 		return fmt.Errorf("netlist %s: invalid grid %dx%d", nl.Name, nl.W, nl.H)
@@ -67,15 +87,18 @@ func (nl *Netlist) Validate() error {
 		if n.ID != i {
 			return fmt.Errorf("netlist %s: net %q has ID %d at index %d", nl.Name, n.Name, n.ID, i)
 		}
-		distinct := map[geom.Pt]bool{}
+		seen := map[geom.Pt]bool{}
 		for _, p := range n.Pins {
 			if p.X < 0 || p.X >= nl.W || p.Y < 0 || p.Y >= nl.H {
 				return fmt.Errorf("netlist %s: net %q pin %v out of grid", nl.Name, n.Name, p)
 			}
-			distinct[p] = true
+			if seen[p] {
+				return fmt.Errorf("netlist %s: net %q pin %v: %w", nl.Name, n.Name, p, ErrDuplicatePin)
+			}
+			seen[p] = true
 		}
-		if len(distinct) < 2 {
-			return fmt.Errorf("netlist %s: net %q has %d distinct pins", nl.Name, n.Name, len(distinct))
+		if len(n.Pins) < 2 {
+			return fmt.Errorf("netlist %s: net %q has %d pins: %w", nl.Name, n.Name, len(n.Pins), ErrTooFewPins)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -45,6 +46,38 @@ func TestValidateErrors(t *testing.T) {
 		if err := nl.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted invalid netlist", c.name)
 		}
+	}
+}
+
+// TestValidateTypedErrors: degenerate nets are rejected with the typed
+// sentinels, reachable through errors.Is even across Read's wrapping.
+func TestValidateTypedErrors(t *testing.T) {
+	nl := sample()
+	nl.Nets[0].Pins = nl.Nets[0].Pins[:1]
+	if err := nl.Validate(); !errors.Is(err, ErrTooFewPins) {
+		t.Fatalf("single pin: got %v, want ErrTooFewPins", err)
+	}
+
+	nl = sample()
+	nl.Nets[1].Pins = append(nl.Nets[1].Pins, nl.Nets[1].Pins[0])
+	if err := nl.Validate(); !errors.Is(err, ErrDuplicatePin) {
+		t.Fatalf("duplicate pin: got %v, want ErrDuplicatePin", err)
+	}
+
+	// Duplicates among k > 2 pins: still rejected, even though two
+	// distinct pins remain.
+	nl = sample()
+	nl.Nets[1].Pins = []geom.Pt{geom.XY(2, 2), geom.XY(2, 7), geom.XY(2, 2)}
+	if err := nl.Validate(); !errors.Is(err, ErrDuplicatePin) {
+		t.Fatalf("duplicate among 3 pins: got %v, want ErrDuplicatePin", err)
+	}
+
+	// The same sentinels surface from the parser.
+	if _, err := Read(strings.NewReader("netlist t 8 8 2\nnet a 1 1\n")); !errors.Is(err, ErrTooFewPins) {
+		t.Fatalf("Read single pin: got %v, want ErrTooFewPins", err)
+	}
+	if _, err := Read(strings.NewReader("netlist t 8 8 2\nnet a 1 1 2 2 1 1\n")); !errors.Is(err, ErrDuplicatePin) {
+		t.Fatalf("Read duplicate pin: got %v, want ErrDuplicatePin", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/dvi"
 	"repro/internal/grid"
 	"repro/internal/netlist"
+	"repro/internal/steiner"
 )
 
 // Arena recycles one router's memory across runs. A long-running
@@ -91,6 +92,8 @@ func (rt *Router) reinit(nl *netlist.Netlist, cfg Config) {
 			rt.pinOwner[p.Y*nl.W+p.X] = int32(n.ID) + 1
 		}
 	}
+	rt.topos = resizeTopos(rt.topos, len(nl.Nets))
+	clear(rt.steinerOwner)
 	for l := range rt.metalCost {
 		clear(rt.metalCost[l])
 		clear(rt.histMetal[l])
@@ -108,6 +111,18 @@ func (rt *Router) reinit(nl *netlist.Netlist, cfg Config) {
 	rt.debugLog, rt.debugVictim, rt.debugTPLIter = nil, nil, nil
 	rt.search.useHeap = cfg.Queue == HeapQueue
 	rt.search.bq.init(initialBucketSpan(cfg.Params))
+}
+
+// resizeTopos returns a nil-filled topology slice of length n, reusing
+// the old backing array when it is large enough. Topologies are pure
+// values of the previous netlist; none survive a rebind.
+func resizeTopos(s []*steiner.Tree, n int) []*steiner.Tree {
+	if cap(s) < n {
+		return make([]*steiner.Tree, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // resizeRoutes returns a nil-filled route slice of length n, reusing

@@ -33,9 +33,11 @@ func (rt *Router) ensureColorable() error {
 				len(uncolorable), round)
 		}
 		fvps := map[fvpKey]bool{}
+		ripped := map[int32]bool{}
 		for _, v := range uncolorable {
 			// Make the offending via site expensive and move one of
-			// its owners.
+			// its owners. A net already rerouted this round is left
+			// alone — its new route reflects the bumped prices.
 			pi := rt.g.PIdx(geom.XY(v.X, v.Y))
 			rt.bumpHistVia(v.Layer, pi, rt.cfg.Params.HistInc*CostScale*2)
 			owners := rt.viaOwnersAt(v.Layer, geom.XY(v.X, v.Y))
@@ -43,6 +45,10 @@ func (rt *Router) ensureColorable() error {
 				continue
 			}
 			id := owners[rt.rng.Intn(len(owners))]
+			if ripped[id] {
+				continue
+			}
+			ripped[id] = true
 			rt.stats.ColorFixIterations++
 			rt.ripUpTracked(id, fvps)
 			if err := rt.rerouteTracked(id, fvps); err != nil {
@@ -97,11 +103,16 @@ func (rt *Router) uncolorableVias() []geom.Pt3 {
 			if ok, _ := sg.ColorableExact(tpl.NumColors, 200_000); ok {
 				continue
 			}
+			// Emit the whole component: uncolorability is a property of
+			// the component's structure, not of the single vertex the
+			// greedy pass happened to flag. The fix-up must be free to
+			// move any member — ripping only the flagged via's owner can
+			// oscillate forever when that via is pinned (e.g. it sits on
+			// its net's own terminal) while the conflict is created
+			// jointly with its neighbors.
 			for _, v := range comp {
-				if uncSet[v] {
-					p := g.Pts[v]
-					out = append(out, geom.XYL(p.X, p.Y, vl))
-				}
+				p := g.Pts[v]
+				out = append(out, geom.XYL(p.X, p.Y, vl))
 			}
 		}
 	}

@@ -331,6 +331,21 @@ type routeView interface {
 // using a window-bounded search that grows on failure up to the whole
 // grid.
 func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, net int32) ([]geom.Pt3, error) {
+	return rt.findPathMode(r, connected, target, net, false)
+}
+
+// findPathColumn is findPath with the target relaxed to the whole
+// layer column above target's (x, y): the search succeeds on reaching
+// the column at any layer. Steiner junctions are routed this way — a
+// junction is a meeting point of same-net wires, not a terminal, so
+// pinning it to layer 0 would force via stacks for no benefit.
+func (rt *Router) findPathColumn(r routeView, connected []geom.Pt3, target geom.Pt3, net int32) ([]geom.Pt3, error) {
+	return rt.findPathMode(r, connected, target, net, true)
+}
+
+func (rt *Router) findPathMode(r routeView, connected []geom.Pt3, target geom.Pt3, net int32, anyLayer bool) ([]geom.Pt3, error) {
+	rt.colTarget = anyLayer
+	defer func() { rt.colTarget = false }()
 	sources := rt.srcBuf[:0]
 	if r.Empty() {
 		for _, p := range connected {
@@ -409,6 +424,12 @@ func (rt *Router) lowerBound(p, target geom.Pt3) int64 {
 		return 0
 	}
 	md := int64(p.Pt2().ManhattanDist(target.Pt2()))
+	if rt.colTarget {
+		// Column target: the nearest goal state is on p's own layer, so
+		// only the planar term bounds the remaining cost. Still
+		// consistent — via steps leave the bound unchanged and cost ≥ 0.
+		return md * CostScale
+	}
 	ld := int64(p.Layer - target.Layer)
 	if ld < 0 {
 		ld = -ld
@@ -452,7 +473,7 @@ func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net i
 		if g > s.cells[it.id].dist {
 			continue // stale
 		}
-		if p == target {
+		if p == target || (rt.colTarget && p.Pt2() == target.Pt2()) {
 			return s.rebuildPath(it.id), g, true
 		}
 		din := stateDirs[ds]

@@ -128,6 +128,73 @@ func (k *QueueKind) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// TopologyKind selects how a multi-pin net is decomposed into two-pin
+// connections before the search realizes them.
+type TopologyKind uint8
+
+const (
+	// SteinerTopology (the default) decomposes each k-pin net with the
+	// internal/steiner rectilinear Steiner tree generator: a
+	// deterministic MST plus iterated 1-Steiner Hanan refinement, routed
+	// segment by segment with the net's existing wires as free trunk.
+	SteinerTopology TopologyKind = iota
+	// StarTopology is the legacy greedy order: connect the unconnected
+	// pin nearest to the routed component, repeatedly. Kept as the
+	// deterministic fallback when a Steiner segment cannot be realized,
+	// and as a differential-testing baseline.
+	StarTopology
+)
+
+// String implements fmt.Stringer ("steiner"/"star").
+func (k TopologyKind) String() string {
+	if k == StarTopology {
+		return "star"
+	}
+	return "steiner"
+}
+
+// ParseTopologyKind reads a topology name: "steiner" or "star".
+func ParseTopologyKind(s string) (TopologyKind, error) {
+	switch s {
+	case "steiner":
+		return SteinerTopology, nil
+	case "star":
+		return StarTopology, nil
+	}
+	return SteinerTopology, fmt.Errorf("unknown topology %q (want steiner or star)", s)
+}
+
+// MarshalJSON encodes the topology by name so specs carrying it stay
+// human-readable.
+func (k TopologyKind) MarshalJSON() ([]byte, error) {
+	if k > StarTopology {
+		return nil, fmt.Errorf("cannot marshal TopologyKind(%d)", uint8(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts the topology name or the raw numeric value.
+func (k *TopologyKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "steiner":
+			*k = SteinerTopology
+		case "star":
+			*k = StarTopology
+		default:
+			return fmt.Errorf("topology: want \"steiner\" or \"star\", got %q", s)
+		}
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil || n > uint8(StarTopology) {
+		return fmt.Errorf("topology: want \"steiner\", \"star\" or 0-1, got %s", b)
+	}
+	*k = TopologyKind(n)
+	return nil
+}
+
 // Config selects the SADP process and which considerations the router
 // applies — the four experiment columns of Tables III/IV.
 type Config struct {
@@ -152,6 +219,11 @@ type Config struct {
 	// value is the Dial bucket queue; HeapQueue restores the legacy
 	// binary heap. Routing output is identical either way.
 	Queue QueueKind
+	// Topology selects the multi-pin decomposition. The zero value is
+	// the Steiner tree generator; StarTopology restores the greedy
+	// nearest-pin order. Unlike Queue this changes routed geometry on
+	// nets with three or more pins.
+	Topology TopologyKind
 	// Seed drives deterministic tie-breaking choices.
 	Seed int64
 	// GoalDirected enables the admissible A* lower bound in the

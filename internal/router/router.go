@@ -24,6 +24,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/netlist"
+	"repro/internal/steiner"
 )
 
 // Router routes one netlist. Create with New, run with Run.
@@ -67,6 +68,10 @@ type Router struct {
 	// Any FVP the unblocked route creates re-enters the violation
 	// queue.
 	ignoreBlocks bool
+	// colTarget relaxes the current search's goal to the target's whole
+	// layer column (set by findPathColumn for Steiner junctions, which
+	// are wire meeting points, not layer-0 terminals).
+	colTarget bool
 
 	search searchScratch
 	srcBuf []source // reused per-connection source list
@@ -81,6 +86,24 @@ type Router struct {
 	connBuf     []geom.Pt3
 	remBuf      []geom.Pt3
 	pinSeen     map[geom.Pt]bool
+
+	// topos caches each net's Steiner topology. A topology is a pure
+	// function of the net's pin set and the static obstacle verdicts
+	// (foreign pins, Steiner cells claimed by earlier nets), so rip-up
+	// and reroute cycles reuse it — the whole net keeps its tree shape
+	// while negotiation moves the wires realizing it.
+	topos []*steiner.Tree
+	// steinerOwner maps a grid cell claimed as a Steiner point to
+	// 1+netID of the claiming net. Later topologies avoid claimed
+	// cells: two nets each *forced* through the same cell would be a
+	// congestion no negotiation could ever resolve. Claims happen in
+	// deterministic routing order, so the reservation set — and with it
+	// every topology — is reproducible.
+	steinerOwner map[geom.Pt]int32
+	// steinerB recycles the topology generator's scratch across nets
+	// and (through the arena) across runs.
+	steinerB steiner.Builder
+	ptBuf    []geom.Pt // reused 2-D pin list for topology building
 
 	// scanStamp/scanEpoch deduplicate the via-driven blocked-site
 	// discovery (initBlockedVias): overlapping 5×5 neighborhoods of
@@ -153,6 +176,13 @@ type Stats struct {
 	// RemainingFVPs counts the forbidden via patterns left unresolved
 	// by a degraded TPL phase (0 on a full run).
 	RemainingFVPs int
+	// SteinerNets counts nets whose multi-pin decomposition came from
+	// the Steiner topology generator (k ≥ 3 pins, SteinerTopology).
+	SteinerNets int
+	// SteinerFallbacks counts routing attempts where a Steiner segment
+	// proved unrealizable and the net fell back to the greedy
+	// nearest-pin order for that attempt.
+	SteinerFallbacks int
 }
 
 // ErrCanceled reports that the run was aborted through Config.Cancel.
@@ -208,6 +238,8 @@ func New(nl *netlist.Netlist, cfg Config) (*Router, error) {
 			rt.pinOwner[p.Y*nl.W+p.X] = int32(n.ID) + 1
 		}
 	}
+	rt.topos = make([]*steiner.Tree, len(nl.Nets))
+	rt.steinerOwner = make(map[geom.Pt]int32)
 	for l := 0; l < nl.NumLayers; l++ {
 		rt.metalCost = append(rt.metalCost, make([]int64, np))
 		rt.histMetal = append(rt.histMetal, make([]int64, np))
@@ -354,6 +386,15 @@ func (rt *Router) routeNet(id int32) error {
 		}
 	}
 	rt.pinBuf = pins
+	if len(pins) > 2 && rt.cfg.Topology == SteinerTopology {
+		if rt.routeSteinerTree(r, pins, id) {
+			rt.routes[id] = r
+			rt.g.AddRoute(r)
+			return nil
+		}
+		// Some Steiner segment was unrealizable; r was reset. Fall
+		// through to the greedy star order below.
+	}
 	// Connect pins nearest-first starting from pins[0].
 	connected := append(rt.connBuf[:0], pins[0])
 	remaining := append(rt.remBuf[:0], pins[1:]...)
@@ -381,6 +422,110 @@ func (rt *Router) routeNet(id int32) error {
 	rt.routes[id] = r
 	rt.g.AddRoute(r)
 	return nil
+}
+
+// fallbackTopo marks a net whose Steiner topology proved unrealizable:
+// a shared empty sentinel distinguishable from "not built yet" (nil)
+// and from any real Build result (which always has segments for ≥ 2
+// distinct pins). The net routes with the greedy order from then on.
+var fallbackTopo = &steiner.Tree{}
+
+// topology returns the net's cached Steiner decomposition, building it
+// on first use. Candidate Steiner points are vetoed on foreign pin
+// cells (hard obstacles for this net) and on cells already claimed as
+// Steiner points by other nets — two nets forced to terminate wires on
+// the same cell would be a congestion no negotiation could resolve.
+// The surviving Steiner points are claimed for this net. Topologies
+// are built in the deterministic initial routing order, so the claim
+// set, and with it every later topology, is reproducible.
+func (rt *Router) topology(id int32, pins []geom.Pt3) *steiner.Tree {
+	if t := rt.topos[id]; t != nil {
+		return t
+	}
+	pts := rt.ptBuf[:0]
+	for _, p := range pins {
+		pts = append(pts, p.Pt2())
+	}
+	rt.ptBuf = pts
+	t := rt.steinerB.Build(pts, steiner.Options{
+		Blocked: func(p geom.Pt) bool {
+			if o := rt.pinOwner[p.Y*rt.nl.W+p.X]; o != 0 && o != id+1 {
+				return true
+			}
+			o, ok := rt.steinerOwner[p]
+			return ok && o != id+1
+		},
+	})
+	for _, s := range t.Steiner {
+		rt.steinerOwner[s] = id + 1
+	}
+	if len(t.Segs) > 1 {
+		rt.stats.SteinerNets++
+	}
+	rt.topos[id] = t
+	return t
+}
+
+// routeSteinerTree realizes the net's Steiner topology segment by
+// segment. Each search is seeded with the net's entire routed
+// component at cost zero, so a segment reuses already-routed wires of
+// the same net as free trunk and only pays for new metal. It reports
+// false — with r reset and the net marked for the greedy fallback —
+// when a segment cannot be realized.
+func (rt *Router) routeSteinerTree(r *grid.Route, pins []geom.Pt3, id int32) bool {
+	tree := rt.topology(id, pins)
+	if len(tree.Segs) == 0 {
+		return false // fallback sentinel
+	}
+	root := append(rt.connBuf[:0], pins[0])
+	rt.connBuf = root
+	for _, seg := range tree.Segs {
+		junction := false
+		for _, s := range tree.Steiner {
+			if s == seg.B {
+				junction = true
+				break
+			}
+		}
+		target := geom.XYL(seg.B.X, seg.B.Y, 0)
+		if !r.Empty() && rt.coversTarget(r, seg.B, junction) {
+			continue // an earlier path already runs through this node
+		}
+		var path []geom.Pt3
+		var err error
+		if junction {
+			// A Steiner junction is a meeting point of same-net wires,
+			// not a terminal: reaching its column on any layer connects
+			// the tree without forcing a via stack down to layer 0.
+			path, err = rt.findPathColumn(r, root, target, id)
+		} else {
+			path, err = rt.findPath(r, root, target, id)
+		}
+		if err != nil {
+			r.Reset()
+			r.Net = id
+			rt.topos[id] = fallbackTopo
+			rt.stats.SteinerFallbacks++
+			return false
+		}
+		r.AddPathCopy(path)
+	}
+	return true
+}
+
+// coversTarget reports whether the partial route already reaches a
+// tree node: the exact layer-0 point for a pin, any layer of the
+// node's column for a Steiner junction.
+func (rt *Router) coversTarget(r *grid.Route, node geom.Pt, junction bool) bool {
+	if !junction {
+		return r.HasPoint(geom.XYL(node.X, node.Y, 0))
+	}
+	for l := 0; l < rt.g.NumLayers; l++ {
+		if r.HasPoint(geom.XYL(node.X, node.Y, l)) {
+			return true
+		}
+	}
+	return false
 }
 
 // ripUp removes a net's route, cost contributions and occupancy. The

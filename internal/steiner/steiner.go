@@ -1,0 +1,420 @@
+// Package steiner generates deterministic rectilinear Steiner tree
+// topologies for multi-pin nets: the decomposition of a k-pin net into
+// a tree of two-pin segments that the detailed router then realizes
+// one connection at a time, reusing already-routed wires of the same
+// net as free trunk (Mr.TPL-style multi-pin handling; see DESIGN.md
+// §14).
+//
+// The construction is the classic two-stage heuristic:
+//
+//  1. A rectilinear minimum spanning tree over the pins (Prim's
+//     algorithm with index-order tie-breaking, so the tree is a pure
+//     function of the pin list).
+//  2. Iterated 1-Steiner refinement: candidate Steiner points are drawn
+//     from the Hanan grid of the current node set; the candidate whose
+//     insertion shrinks the MST the most is committed, until no
+//     candidate helps or the Steiner budget (k−2 points, the
+//     rectilinear maximum) is exhausted. Candidates can be vetoed by
+//     the caller (Options.Blocked) — the router uses this to keep
+//     Steiner points off foreign pin terminals and off cells already
+//     claimed as Steiner points by other nets.
+//
+// Degree-≤2 Steiner points are pruned (a degree-2 point only splices
+// two segments and constrains the router for no length gain), and the
+// surviving tree is emitted as segments in BFS order from the first
+// pin, so segment i's A endpoint is always part of the already-routed
+// component — exactly the order a sequential trunk-sharing router
+// wants.
+package steiner
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Segment is one two-pin connection of the topology: B is the new node
+// to attach, A the tree node it attaches to (already connected when
+// segments are routed in order).
+type Segment struct {
+	A, B geom.Pt
+}
+
+// Len returns the segment's Manhattan length.
+func (s Segment) Len() int { return s.A.ManhattanDist(s.B) }
+
+// Tree is a net's Steiner topology.
+type Tree struct {
+	// Pins are the deduplicated input pins, in input order. Pins[0] is
+	// the BFS root.
+	Pins []geom.Pt
+	// Steiner are the committed refinement points (possibly empty).
+	Steiner []geom.Pt
+	// Segs are the two-pin segments in routing order: Segs[i].A is
+	// connected by some earlier segment (or is the root).
+	Segs []Segment
+	// Length is the total Manhattan length of the segments — the
+	// topology's wirelength lower bound, never above the plain MST's.
+	Length int
+}
+
+// Options tune the construction.
+type Options struct {
+	// Blocked vetoes candidate Steiner points (existing nodes are never
+	// candidates). Nil blocks nothing.
+	Blocked func(geom.Pt) bool
+	// MaxPinsForRefinement skips the quadratic Hanan refinement for
+	// nets with more pins (the MST alone is the topology then). Zero
+	// means the default of 12; routing-quality work concentrates on the
+	// small nets real standard-cell netlists are made of, and parser
+	// input is untrusted.
+	MaxPinsForRefinement int
+}
+
+// Builder constructs topologies while recycling all internal scratch
+// (MST working arrays, Hanan enumeration buffers, adjacency lists)
+// across Build calls. A long-lived router keeps one Builder per worker
+// so steady-state topology generation allocates only the returned
+// Tree. A Builder is single-owner state; it is not safe for concurrent
+// use. The zero value is ready to use.
+type Builder struct {
+	seen     map[geom.Pt]bool
+	nodes    []geom.Pt
+	trial    []geom.Pt
+	inTree   []bool
+	dist     []int
+	attach   []int
+	coordBuf []int
+	xs, ys   []int
+	cands    []geom.Pt
+	edges    []edge
+	kept     []edge
+	deg      []int
+	adj      [][]int
+	visited  []bool
+	queue    []int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build constructs the topology for the given pins; see Builder.Build.
+// It allocates fresh scratch every call — callers on a hot path keep a
+// Builder instead.
+func Build(pins []geom.Pt, opt Options) *Tree {
+	return NewBuilder().Build(pins, opt)
+}
+
+// Build constructs the topology for the given pins. Duplicates are
+// dropped; fewer than two distinct pins yield a tree with no segments.
+// The result is a pure function of (pins, blocked verdicts): no maps
+// are iterated, all ties break by index or coordinate order. The
+// returned Tree shares no storage with the builder and stays valid
+// across future Build calls.
+func (b *Builder) Build(pins []geom.Pt, opt Options) *Tree {
+	t := &Tree{}
+	if b.seen == nil {
+		b.seen = make(map[geom.Pt]bool, len(pins))
+	} else {
+		clear(b.seen)
+	}
+	for _, p := range pins {
+		if !b.seen[p] {
+			b.seen[p] = true
+			t.Pins = append(t.Pins, p)
+		}
+	}
+	if len(t.Pins) < 2 {
+		return t
+	}
+	if len(t.Pins) == 2 {
+		t.Segs = []Segment{{A: t.Pins[0], B: t.Pins[1]}}
+		t.Length = t.Segs[0].Len()
+		return t
+	}
+
+	maxRefine := opt.MaxPinsForRefinement
+	if maxRefine == 0 {
+		maxRefine = 12
+	}
+
+	b.nodes = append(b.nodes[:0], t.Pins...)
+	if len(t.Pins) <= maxRefine {
+		b.refine(len(t.Pins), opt.Blocked)
+	}
+
+	edges := b.mstEdges(b.nodes)
+	edges = b.prune(edges, len(t.Pins))
+	t.Steiner = append(t.Steiner, b.nodes[len(t.Pins):]...)
+
+	t.Segs = b.orderSegments(edges, b.nodes)
+	for _, s := range t.Segs {
+		t.Length += s.Len()
+	}
+	return t
+}
+
+// edge connects node indices a < b.
+type edge struct{ a, b int }
+
+// grow returns s resized to length n, reallocating only on growth.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// mstEdges returns the rectilinear MST of nodes as index edges, via
+// Prim from node 0. Ties break on the smaller frontier index, then the
+// smaller attachment index, making the tree deterministic. The
+// returned slice is builder scratch, valid until the next MST call.
+func (b *Builder) mstEdges(nodes []geom.Pt) []edge {
+	n := len(nodes)
+	b.inTree = grow(b.inTree, n)
+	b.dist = grow(b.dist, n)
+	b.attach = grow(b.attach, n)
+	inTree, dist, attach := b.inTree, b.dist, b.attach
+	for i := range dist {
+		inTree[i] = false
+		dist[i] = nodes[i].ManhattanDist(nodes[0])
+		attach[i] = 0
+	}
+	inTree[0] = true
+	edges := b.edges[:0]
+	for len(edges) < n-1 {
+		best := -1
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if best == -1 || dist[i] < dist[best] {
+				best = i
+			}
+		}
+		a, bi := attach[best], best
+		if bi < a {
+			a, bi = bi, a
+		}
+		edges = append(edges, edge{a, bi})
+		inTree[best] = true
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if d := nodes[i].ManhattanDist(nodes[best]); d < dist[i] {
+				dist[i] = d
+				attach[i] = best
+			}
+		}
+	}
+	b.edges = edges
+	return edges
+}
+
+// mstLen is the MST's total length without materializing edges.
+func (b *Builder) mstLen(nodes []geom.Pt) int {
+	n := len(nodes)
+	b.inTree = grow(b.inTree, n)
+	b.dist = grow(b.dist, n)
+	inTree, dist := b.inTree, b.dist
+	for i := range dist {
+		inTree[i] = false
+		dist[i] = nodes[i].ManhattanDist(nodes[0])
+	}
+	inTree[0] = true
+	total := 0
+	for picked := 1; picked < n; picked++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if best == -1 || dist[i] < dist[best] {
+				best = i
+			}
+		}
+		total += dist[best]
+		inTree[best] = true
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := nodes[i].ManhattanDist(nodes[best]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// refine runs iterated 1-Steiner on b.nodes: commit the Hanan
+// candidate with the largest MST length reduction until none helps or
+// numPins−2 points are placed. Candidates are scanned in (y, x) order
+// so equal gains resolve identically everywhere.
+func (b *Builder) refine(numPins int, blocked func(geom.Pt) bool) {
+	for len(b.nodes)-numPins < numPins-2 {
+		curLen := b.mstLen(b.nodes)
+		cands := b.hananCandidates(blocked)
+		bestGain := 0
+		var bestPt geom.Pt
+		for _, c := range cands {
+			b.trial = append(append(b.trial[:0], b.nodes...), c)
+			if gain := curLen - b.mstLen(b.trial); gain > bestGain {
+				bestGain = gain
+				bestPt = c
+			}
+		}
+		if bestGain <= 0 {
+			return
+		}
+		b.nodes = append(b.nodes, bestPt)
+	}
+}
+
+// hananCandidates enumerates the Hanan grid of b.nodes (every (x, y)
+// combination of node coordinates) minus existing nodes and blocked
+// cells, in deterministic (y, x) order. The returned slice is builder
+// scratch.
+func (b *Builder) hananCandidates(blocked func(geom.Pt) bool) []geom.Pt {
+	b.xs = b.uniqSorted(b.xs, func(p geom.Pt) int { return p.X })
+	b.ys = b.uniqSorted(b.ys, func(p geom.Pt) int { return p.Y })
+	clear(b.seen)
+	for _, p := range b.nodes {
+		b.seen[p] = true
+	}
+	out := b.cands[:0]
+	for _, y := range b.ys {
+		for _, x := range b.xs {
+			p := geom.XY(x, y)
+			if b.seen[p] || (blocked != nil && blocked(p)) {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	b.cands = out
+	return out
+}
+
+func (b *Builder) uniqSorted(dst []int, key func(geom.Pt) int) []int {
+	vals := b.coordBuf[:0]
+	for _, p := range b.nodes {
+		vals = append(vals, key(p))
+	}
+	b.coordBuf = vals
+	sort.Ints(vals)
+	dst = dst[:0]
+	for i, v := range vals {
+		if i == 0 || v != dst[len(dst)-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// ensureAdj resets the reusable adjacency lists to n empty rows.
+func (b *Builder) ensureAdj(n int) [][]int {
+	if cap(b.adj) < n {
+		b.adj = make([][]int, n)
+	}
+	b.adj = b.adj[:n]
+	for i := range b.adj {
+		b.adj[i] = b.adj[i][:0]
+	}
+	return b.adj
+}
+
+// prune drops Steiner nodes of degree ≤ 2 from b.nodes (splicing the
+// two edges of a degree-2 node into one), repeating to a fixpoint, and
+// compacts the node slice. Pins are never pruned.
+func (b *Builder) prune(edges []edge, numPins int) []edge {
+	for {
+		n := len(b.nodes)
+		b.deg = grow(b.deg, n)
+		deg := b.deg
+		for i := range deg {
+			deg[i] = 0
+		}
+		adj := b.ensureAdj(n)
+		for _, e := range edges {
+			deg[e.a]++
+			deg[e.b]++
+			adj[e.a] = append(adj[e.a], e.b)
+			adj[e.b] = append(adj[e.b], e.a)
+		}
+		victim := -1
+		for i := numPins; i < n; i++ {
+			if deg[i] <= 2 {
+				victim = i
+				break
+			}
+		}
+		if victim == -1 {
+			return edges
+		}
+		kept := b.kept[:0]
+		for _, e := range edges {
+			if e.a != victim && e.b != victim {
+				kept = append(kept, e)
+			}
+		}
+		if deg[victim] == 2 {
+			x, y := adj[victim][0], adj[victim][1]
+			if y < x {
+				x, y = y, x
+			}
+			if x != y {
+				kept = append(kept, edge{x, y})
+			}
+		}
+		// Remove the node, renumbering indices above it.
+		b.nodes = append(b.nodes[:victim], b.nodes[victim+1:]...)
+		for i := range kept {
+			if kept[i].a > victim {
+				kept[i].a--
+			}
+			if kept[i].b > victim {
+				kept[i].b--
+			}
+		}
+		// Swap the edge buffers so the next round filters from kept.
+		b.kept, b.edges = b.edges[:0], kept
+		edges = kept
+	}
+}
+
+// orderSegments emits the tree's edges in BFS order from node 0 (the
+// first pin), orienting each so A is the already-visited endpoint.
+// Neighbor expansion follows ascending node index.
+func (b *Builder) orderSegments(edges []edge, nodes []geom.Pt) []Segment {
+	adj := b.ensureAdj(len(nodes))
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	for _, nb := range adj {
+		sort.Ints(nb)
+	}
+	b.visited = grow(b.visited, len(nodes))
+	visited := b.visited
+	for i := range visited {
+		visited[i] = false
+	}
+	visited[0] = true
+	queue := append(b.queue[:0], 0)
+	segs := make([]Segment, 0, len(edges))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			segs = append(segs, Segment{A: nodes[u], B: nodes[v]})
+			queue = append(queue, v)
+		}
+	}
+	b.queue = queue[:0]
+	return segs
+}

@@ -1,0 +1,177 @@
+package steiner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// spans checks that routing the segments in order keeps one connected
+// component containing every pin and every segment endpoint: seg.A
+// must already be connected when its segment is reached.
+func spans(t *testing.T, tr *Tree) {
+	t.Helper()
+	if len(tr.Pins) < 2 {
+		if len(tr.Segs) != 0 {
+			t.Fatalf("degenerate pin set got %d segments", len(tr.Segs))
+		}
+		return
+	}
+	connected := map[geom.Pt]bool{tr.Pins[0]: true}
+	for i, s := range tr.Segs {
+		if !connected[s.A] {
+			t.Fatalf("segment %d: A=%v not connected yet (segs %v)", i, s.A, tr.Segs)
+		}
+		connected[s.B] = true
+	}
+	for _, p := range tr.Pins {
+		if !connected[p] {
+			t.Fatalf("pin %v not covered by segments %v", p, tr.Segs)
+		}
+	}
+	for _, s := range tr.Steiner {
+		if !connected[s] {
+			t.Fatalf("steiner point %v not covered by segments", s)
+		}
+	}
+}
+
+func TestTwoPinTrivial(t *testing.T) {
+	tr := Build([]geom.Pt{geom.XY(1, 1), geom.XY(4, 5)}, Options{})
+	if len(tr.Segs) != 1 || tr.Length != 7 {
+		t.Fatalf("two-pin tree: %+v", tr)
+	}
+	spans(t, tr)
+}
+
+func TestDuplicateAndDegeneratePins(t *testing.T) {
+	tr := Build([]geom.Pt{geom.XY(2, 2), geom.XY(2, 2)}, Options{})
+	if len(tr.Pins) != 1 || len(tr.Segs) != 0 {
+		t.Fatalf("duplicate-only pins: %+v", tr)
+	}
+	tr = Build([]geom.Pt{geom.XY(2, 2), geom.XY(2, 2), geom.XY(5, 2)}, Options{})
+	if len(tr.Pins) != 2 || len(tr.Segs) != 1 {
+		t.Fatalf("dedup failed: %+v", tr)
+	}
+	spans(t, tr)
+}
+
+// The canonical 1-Steiner win: three pins in an L. The MST costs two
+// full legs; a Steiner point at the corner... saves nothing for 3 pins
+// in an L (MST already optimal), but a 4-pin cross saves two legs.
+func TestCrossGainsSteinerPoint(t *testing.T) {
+	pins := []geom.Pt{geom.XY(5, 0), geom.XY(0, 5), geom.XY(10, 5), geom.XY(5, 10)}
+	tr := Build(pins, Options{})
+	spans(t, tr)
+	if len(tr.Steiner) == 0 {
+		t.Fatalf("cross pins gained no Steiner point: %+v", tr)
+	}
+	if want := (Segment{geom.XY(5, 5), geom.XY(5, 0)}).Len() * 4; tr.Length != want {
+		t.Fatalf("cross length %d, want %d (star from center)", tr.Length, want)
+	}
+	// And never worse than the plain MST.
+	if mst := NewBuilder().mstLen(pins); tr.Length > mst {
+		t.Fatalf("refined length %d exceeds MST %d", tr.Length, mst)
+	}
+}
+
+func TestBlockedVetoesSteinerPoint(t *testing.T) {
+	pins := []geom.Pt{geom.XY(5, 0), geom.XY(0, 5), geom.XY(10, 5), geom.XY(5, 10)}
+	center := geom.XY(5, 5)
+	tr := Build(pins, Options{Blocked: func(p geom.Pt) bool { return p == center }})
+	spans(t, tr)
+	for _, s := range tr.Steiner {
+		if s == center {
+			t.Fatalf("blocked point %v used as Steiner point", center)
+		}
+	}
+}
+
+func TestDeterministicAndPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(7)
+		pins := make([]geom.Pt, 0, k)
+		for i := 0; i < k; i++ {
+			pins = append(pins, geom.XY(rng.Intn(30), rng.Intn(30)))
+		}
+		a := Build(pins, Options{})
+		b := Build(append([]geom.Pt(nil), pins...), Options{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: Build not deterministic:\n%+v\n%+v", trial, a, b)
+		}
+	}
+}
+
+func TestRandomTreesSpanAndNeverBeatMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		k := 3 + rng.Intn(6)
+		seen := map[geom.Pt]bool{}
+		var pins []geom.Pt
+		for len(pins) < k {
+			p := geom.XY(rng.Intn(40), rng.Intn(40))
+			if !seen[p] {
+				seen[p] = true
+				pins = append(pins, p)
+			}
+		}
+		tr := Build(pins, Options{})
+		spans(t, tr)
+		mst := NewBuilder().mstLen(pins)
+		if tr.Length > mst {
+			t.Fatalf("trial %d: refined length %d > MST %d (pins %v)", trial, tr.Length, mst, pins)
+		}
+		// Lower bound: half the HPWL of the pin bbox... the Steiner
+		// minimal tree is at least the half-perimeter of the bounding
+		// box of the pins.
+		b := geom.BoundingRect(pins)
+		if hp := (b.Width() - 1) + (b.Height() - 1); tr.Length < hp {
+			t.Fatalf("trial %d: length %d below HPWL bound %d", trial, tr.Length, hp)
+		}
+		// Steiner points must lie inside the pin bounding box (they are
+		// Hanan points of pins or earlier Steiner points).
+		for _, s := range tr.Steiner {
+			if !b.Contains(s) {
+				t.Fatalf("trial %d: steiner point %v outside pin bbox %v", trial, s, b)
+			}
+		}
+		if len(tr.Steiner) > k-2 {
+			t.Fatalf("trial %d: %d Steiner points for %d pins", trial, len(tr.Steiner), k)
+		}
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		k := 3 + rng.Intn(5)
+		seen := map[geom.Pt]bool{}
+		var pins []geom.Pt
+		for len(pins) < k {
+			p := geom.XY(rng.Intn(25), rng.Intn(25))
+			if !seen[p] {
+				seen[p] = true
+				pins = append(pins, p)
+			}
+		}
+		tr := Build(pins, Options{})
+		if want := len(tr.Pins) + len(tr.Steiner) - 1; len(tr.Segs) != want {
+			t.Fatalf("trial %d: %d segments for %d nodes (want %d)", trial, len(tr.Segs), len(tr.Pins)+len(tr.Steiner), want)
+		}
+	}
+}
+
+func TestRefinementSkippedAboveCap(t *testing.T) {
+	var pins []geom.Pt
+	for i := 0; i < 20; i++ {
+		pins = append(pins, geom.XY(i*3%17, i*7%19))
+	}
+	tr := Build(pins, Options{MaxPinsForRefinement: 8})
+	if len(tr.Steiner) != 0 {
+		t.Fatalf("refinement ran above the pin cap: %d Steiner points", len(tr.Steiner))
+	}
+	spans(t, tr)
+}

@@ -1,24 +1,43 @@
 package stress
 
-import "repro/internal/netlist"
+import (
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
 
-// shrinkNetlist reduces a failing netlist to a locally minimal one
-// with the ddmin strategy over nets: repeatedly try dropping chunks of
-// nets (halving the chunk size when stuck) while the failing predicate
-// keeps holding. budget caps predicate invocations — each one re-runs
-// the routing pipeline. The result still fails the predicate.
+// shrinkNetlist reduces a failing netlist to a locally minimal one with
+// the ddmin strategy, first over nets, then over the pins of each
+// surviving net: repeatedly try dropping chunks (halving the chunk size
+// when stuck) while the failing predicate keeps holding. budget caps
+// predicate invocations across both phases — each one re-runs the
+// routing pipeline. The result still fails the predicate.
 func shrinkNetlist(nl *netlist.Netlist, failing func(*netlist.Netlist) bool, budget int) *netlist.Netlist {
-	cur := nl
-	calls := 0
-	try := func(cand *netlist.Netlist) bool {
-		if calls >= budget {
-			return false
-		}
-		calls++
-		return failing(cand)
+	s := &shrinkState{failing: failing, budget: budget}
+	return s.shrinkPins(s.shrinkNets(nl))
+}
+
+// shrinkState meters predicate calls across the shrink phases.
+type shrinkState struct {
+	failing func(*netlist.Netlist) bool
+	budget  int
+	calls   int
+}
+
+func (s *shrinkState) spent() bool { return s.calls >= s.budget }
+
+func (s *shrinkState) try(cand *netlist.Netlist) bool {
+	if s.spent() {
+		return false
 	}
+	s.calls++
+	return s.failing(cand)
+}
+
+// shrinkNets is the net-level ddmin pass.
+func (s *shrinkState) shrinkNets(nl *netlist.Netlist) *netlist.Netlist {
+	cur := nl
 	chunk := (len(cur.Nets) + 1) / 2
-	for chunk >= 1 && calls < budget {
+	for chunk >= 1 && !s.spent() {
 		reduced := false
 		for start := 0; start < len(cur.Nets); {
 			if len(cur.Nets) <= 1 {
@@ -29,7 +48,7 @@ func shrinkNetlist(nl *netlist.Netlist, failing func(*netlist.Netlist) bool, bud
 				break // dropping every net is never a reproducer; lower the granularity
 			}
 			cand := withoutNets(cur, start, end)
-			if try(cand) {
+			if s.try(cand) {
 				cur = cand // chunk was irrelevant; keep position, nets shifted down
 				reduced = true
 			} else {
@@ -48,6 +67,47 @@ func shrinkNetlist(nl *netlist.Netlist, failing func(*netlist.Netlist) bool, bud
 	return cur
 }
 
+// shrinkPins is the pin-level ddmin pass: within each surviving net it
+// drops chunks of pins, never going below the two pins a valid net
+// needs. Multi-pin failures often hinge on one branch of the Steiner
+// tree; removing the irrelevant pins shrinks a k-pin reproducer to the
+// two or three that matter. Runs after net-level shrinking so pin work
+// is spent only on nets that survived it.
+func (s *shrinkState) shrinkPins(nl *netlist.Netlist) *netlist.Netlist {
+	cur := nl
+	for i := 0; i < len(cur.Nets) && !s.spent(); i++ {
+		chunk := (len(cur.Nets[i].Pins) + 1) / 2
+		for chunk >= 1 && !s.spent() {
+			reduced := false
+			for start := 0; start < len(cur.Nets[i].Pins); {
+				pins := cur.Nets[i].Pins
+				if len(pins) <= 2 {
+					break
+				}
+				end := min(start+chunk, len(pins))
+				if len(pins)-(end-start) < 2 {
+					start += chunk // would leave fewer than two pins
+					continue
+				}
+				cand := withoutPins(cur, i, start, end)
+				if s.try(cand) {
+					cur = cand
+					reduced = true
+				} else {
+					start += chunk
+				}
+			}
+			if chunk == 1 && !reduced {
+				break // 1-minimal: no single pin of this net can go
+			}
+			if !reduced {
+				chunk /= 2
+			}
+		}
+	}
+	return cur
+}
+
 // withoutNets copies nl minus the net index range [from, to),
 // renumbering IDs so the result validates.
 func withoutNets(nl *netlist.Netlist, from, to int) *netlist.Netlist {
@@ -57,6 +117,19 @@ func withoutNets(nl *netlist.Netlist, from, to int) *netlist.Netlist {
 			continue
 		}
 		c := &netlist.Net{ID: len(out.Nets), Name: n.Name, Pins: n.Pins}
+		out.Nets = append(out.Nets, c)
+	}
+	return out
+}
+
+// withoutPins copies nl with net's pin index range [from, to) removed.
+func withoutPins(nl *netlist.Netlist, net, from, to int) *netlist.Netlist {
+	out := &netlist.Netlist{Name: nl.Name, W: nl.W, H: nl.H, NumLayers: nl.NumLayers}
+	for i, n := range nl.Nets {
+		c := &netlist.Net{ID: i, Name: n.Name, Pins: n.Pins}
+		if i == net {
+			c.Pins = append(append([]geom.Pt{}, n.Pins[:from]...), n.Pins[to:]...)
+		}
 		out.Nets = append(out.Nets, c)
 	}
 	return out

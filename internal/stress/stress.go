@@ -42,6 +42,11 @@ type Config struct {
 	// ShrinkBudget caps pipeline re-runs during reproducer
 	// minimization (default 200).
 	ShrinkBudget int
+	// MaxPins, when positive, makes every trial a multi-pin circuit:
+	// pin counts are drawn uniformly from [2, MaxPins], so Steiner
+	// decomposition, trunk sharing and k-pin verification are all on
+	// the hot path. Zero keeps the classic 2-pin-heavy mix.
+	MaxPins int
 	// Logf, when set, receives one line per trial.
 	Logf func(format string, args ...interface{})
 }
@@ -71,6 +76,9 @@ type Failure struct {
 	Trial int
 	// Seed replays the run that found it.
 	Seed int64
+	// MaxPins is the multi-pin knob the run used (0 = classic mix);
+	// replaying needs the same value to regenerate the trial.
+	MaxPins int
 	// Netlist is the shrunken reproducer.
 	Netlist *netlist.Netlist
 	// Mode is the SADP mode the failure occurred under.
@@ -98,12 +106,13 @@ func Run(cfg Config) (Result, *Failure) {
 	deadline := time.Now().Add(cfg.Budget)
 	var res Result
 	for {
-		ckt := randomCircuit(rng, res.Trials)
+		ckt := randomCircuit(rng, res.Trials, cfg.MaxPins)
 		nl := bench.Generate(ckt)
 		for _, mode := range []coloring.SADPType{coloring.SIM, coloring.SID} {
 			if fail := checkPipeline(nl, mode, cfg.ILPTimeLimit); fail != nil {
 				fail.Trial = res.Trials
 				fail.Seed = cfg.Seed
+				fail.MaxPins = cfg.MaxPins
 				if cfg.Logf != nil {
 					cfg.Logf("trial %d FAILED (%v, stage %s); shrinking %d nets",
 						res.Trials, mode, fail.Stage, len(nl.Nets))
@@ -136,16 +145,21 @@ func Run(cfg Config) (Result, *Failure) {
 // randomCircuit draws a small random circuit: large enough to exercise
 // vias, turns and DVI interactions, small enough that the ILP solves
 // quickly and a failure shrinks fast.
-func randomCircuit(rng *rand.Rand, trial int) bench.Circuit {
+func randomCircuit(rng *rand.Rand, trial int, maxPins int) bench.Circuit {
 	w := 24 + rng.Intn(40)
 	h := 24 + rng.Intn(40)
 	nets := 4 + rng.Intn(24)
+	if maxPins > 0 {
+		// Multi-pin nets spread further; keep density routable.
+		nets = 4 + rng.Intn(16)
+	}
 	return bench.Circuit{
-		Name: "stress" + strconv.Itoa(trial),
-		Nets: nets,
-		W:    w,
-		H:    h,
-		Seed: rng.Int63(),
+		Name:    "stress" + strconv.Itoa(trial),
+		Nets:    nets,
+		W:       w,
+		H:       h,
+		Seed:    rng.Int63(),
+		MaxPins: maxPins,
 	}
 }
 
@@ -218,7 +232,11 @@ func (f *Failure) WriteFiles(dir string) (string, error) {
 			desc += v.String() + "\n"
 		}
 	}
-	desc += fmt.Sprintf("\nreplay: go run ./cmd/stress -seed %d\n", f.Seed)
+	replay := fmt.Sprintf("go run ./cmd/stress -seed %d", f.Seed)
+	if f.MaxPins > 0 {
+		replay += fmt.Sprintf(" -maxpins %d", f.MaxPins)
+	}
+	desc += "\nreplay: " + replay + "\n"
 	if err := os.WriteFile(filepath.Join(dir, "repro.txt"), []byte(desc), 0o644); err != nil {
 		return "", err
 	}

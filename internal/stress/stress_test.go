@@ -40,6 +40,34 @@ func TestStressFixedSeed(t *testing.T) {
 	}
 }
 
+// TestStressFixedSeedMultiPin runs the same sweep with pin counts
+// drawn from [2, 6], so every trial routes k-pin nets through the
+// Steiner decomposition and the verifier checks them from the pin set
+// alone.
+func TestStressFixedSeedMultiPin(t *testing.T) {
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	res, fail := Run(Config{
+		Seed:      7,
+		Budget:    time.Minute, // the trial cap is the real bound
+		MaxTrials: trials,
+		MaxPins:   6,
+		Logf:      t.Logf,
+	})
+	if fail != nil {
+		dir := t.TempDir()
+		if path, err := fail.WriteFiles(dir); err == nil {
+			t.Logf("reproducer written to %s", path)
+		}
+		t.Fatalf("multi-pin stress failure: %v", fail)
+	}
+	if res.Trials != trials || res.Checks != trials*4 {
+		t.Fatalf("ran %d trials / %d checks, want %d / %d", res.Trials, res.Checks, trials, trials*4)
+	}
+}
+
 // TestCheckPipelineCatchesBadNetlist: an unroutable input must surface
 // as a stage failure, not a panic or a silent pass.
 func TestCheckPipelineCatchesBadNetlist(t *testing.T) {
@@ -100,6 +128,53 @@ func TestShrinkNetlist(t *testing.T) {
 			names[i] = n.Name
 		}
 		t.Fatalf("shrunk to %d nets %v, want just [bad] (%d predicate calls)", len(out.Nets), names, calls)
+	}
+}
+
+// TestShrinkRemovesPins: the pin-level ddmin pass must strip the pins
+// that don't matter from a multi-pin net. The synthetic predicate
+// fails iff the "bad" net still reaches pin (30, 30); the minimal
+// reproducer keeps that pin plus exactly one more (a net needs two).
+func TestShrinkRemovesPins(t *testing.T) {
+	nl := &netlist.Netlist{Name: "p", W: 32, H: 32, NumLayers: 2}
+	nl.Nets = []*netlist.Net{
+		{ID: 0, Name: "ok", Pins: []geom.Pt{geom.XY(0, 0), geom.XY(4, 0)}},
+		{ID: 1, Name: "bad", Pins: []geom.Pt{
+			geom.XY(10, 10), geom.XY(20, 5), geom.XY(30, 30), geom.XY(5, 25), geom.XY(15, 18), geom.XY(28, 2),
+		}},
+	}
+	marker := geom.XY(30, 30)
+	hasMarker := func(cand *netlist.Netlist) bool {
+		if err := cand.Validate(); err != nil {
+			t.Fatalf("shrinker produced an invalid candidate: %v", err)
+		}
+		for _, n := range cand.Nets {
+			if n.Name != "bad" {
+				continue
+			}
+			for _, p := range n.Pins {
+				if p == marker {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := shrinkNetlist(nl, hasMarker, 1000)
+	if len(out.Nets) != 1 || out.Nets[0].Name != "bad" {
+		t.Fatalf("net-level shrink kept %d nets, want just [bad]", len(out.Nets))
+	}
+	if got := len(out.Nets[0].Pins); got != 2 {
+		t.Fatalf("pin-level shrink kept %d pins %v, want 2", got, out.Nets[0].Pins)
+	}
+	found := false
+	for _, p := range out.Nets[0].Pins {
+		if p == marker {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shrunk net lost the marker pin: %v", out.Nets[0].Pins)
 	}
 }
 

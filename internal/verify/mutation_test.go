@@ -282,6 +282,163 @@ func TestMutationViaListMismatch(t *testing.T) {
 	}
 }
 
+// multiPinFixture runs the pipeline once on the smallest multi-pin
+// circuit (pin counts uniform in [2, 6]), so routed Steiner trees with
+// shared trunks are present. Returns the router-reported wirelength
+// alongside the solution for metric cross-checks.
+func multiPinFixture(t *testing.T) (*netlist.Netlist, []*grid.Route, int) {
+	t.Helper()
+	nl := bench.Generate(bench.TinyMultiPinSuite()[0])
+	spec := bench.RunSpec{
+		Scheme: coloring.SIM, ConsiderDVI: true, ConsiderTPL: true,
+		Method: bench.HeurDVI,
+	}
+	row, art, err := bench.Run(nl, spec)
+	if err != nil {
+		t.Fatalf("bench.Run: %v", err)
+	}
+	return nl, art.Router.Routes(), row.WL
+}
+
+// TestMutationDroppedSteinerBranch: removing one branch of a k-pin
+// net's routed tree must break connectivity — either a pin loses its
+// metal entirely or the remaining geometry splits into components. The
+// verifier sees only the pin set, so this is the check that k-pin
+// solutions cannot silently drop a leaf.
+func TestMutationDroppedSteinerBranch(t *testing.T) {
+	nl, routes, _ := multiPinFixture(t)
+	for i, r := range routes {
+		if r == nil || len(nl.Nets[i].Pins) < 3 || len(r.Paths) < 2 {
+			continue
+		}
+		for k := range r.Paths {
+			mut := copyRoutes(routes)
+			mut[i].Paths = append(mut[i].Paths[:k], mut[i].Paths[k+1:]...)
+			rep := verify.Routing(nl, mut, fixOpt)
+			if rep.Has(verify.PinMissing) || rep.Has(verify.Disconnected) {
+				return
+			}
+		}
+	}
+	t.Fatal("no dropped branch of any k-pin net was flagged as pin-missing or disconnected")
+}
+
+// TestMutationCrossNetTrunkShare: trunk reuse is free within a net but
+// never across nets. Grafting another net's wire onto a k-pin net's
+// trunk metal must be flagged as a short.
+func TestMutationCrossNetTrunkShare(t *testing.T) {
+	nl, routes, _ := multiPinFixture(t)
+	// Index the metal of multi-pin nets (the trunks under test).
+	own := map[geom.Pt3]int32{}
+	for i, r := range routes {
+		if r == nil || len(nl.Nets[i].Pins) < 3 {
+			continue
+		}
+		for _, p := range r.PointList() {
+			own[p] = r.Net
+		}
+	}
+	for _, r := range routes {
+		if r == nil {
+			continue
+		}
+		for _, p := range r.PointList() {
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				q := geom.XYL(p.X+d[0], p.Y+d[1], p.Layer)
+				other, ok := own[q]
+				if !ok || other == r.Net {
+					continue
+				}
+				mut := copyRoutes(routes)
+				mut[r.Net].Paths = append(mut[r.Net].Paths, []geom.Pt3{p, q})
+				rep := verify.Routing(nl, mut, fixOpt)
+				if !rep.Has(verify.MetalShort) {
+					t.Fatalf("net %d grafted onto net %d's trunk at %v not flagged as short; report: %v",
+						r.Net, other, q, rep.Err())
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no routed metal adjacent to a k-pin net's trunk found in fixture")
+}
+
+// TestMutationTrunkDoubleCountWL: the independent metric recount
+// deduplicates per-net geometry, so a router that emitted the shared
+// trunk once per branch (double-counting its wirelength) would
+// disagree with verify.Metrics and be caught by the metrics
+// cross-check. Establishes both halves: the recount matches the
+// reported wirelength on the honest solution, and stays fixed when a
+// trunk path is duplicated while a naive per-path sum inflates.
+func TestMutationTrunkDoubleCountWL(t *testing.T) {
+	nl, routes, reportedWL := multiPinFixture(t)
+	wl, vias := verify.Metrics(routes)
+	if wl != reportedWL {
+		t.Fatalf("independent recount wl=%d disagrees with reported wl=%d on the honest solution", wl, reportedWL)
+	}
+	mut := copyRoutes(routes)
+	dup := -1
+	for i, r := range mut {
+		if r == nil || len(nl.Nets[i].Pins) < 3 || len(r.Paths) < 2 {
+			continue
+		}
+		if metalSteps(r.Paths[0]) > 0 {
+			r.Paths = append(r.Paths, r.Paths[0])
+			dup = i
+			break
+		}
+	}
+	if dup < 0 {
+		t.Fatal("no k-pin net with a metal-bearing trunk path found in fixture")
+	}
+	wl2, vias2 := verify.Metrics(mut)
+	if wl2 != wl || vias2 != vias {
+		t.Fatalf("duplicated trunk changed the deduplicated recount: wl %d -> %d, vias %d -> %d", wl, wl2, vias, vias2)
+	}
+	naive := 0
+	for _, r := range mut {
+		if r == nil {
+			continue
+		}
+		for _, p := range r.Paths {
+			naive += metalSteps(p)
+		}
+	}
+	if naive <= wl2 {
+		t.Fatalf("naive per-path sum %d does not exceed deduplicated wl %d — double count invisible", naive, wl2)
+	}
+}
+
+// TestMutationSelfTrunkReuseLegal: a net overlapping its own metal
+// (the Steiner trunk shared by several branches) is legal — no short,
+// no connectivity complaint, identical metrics.
+func TestMutationSelfTrunkReuseLegal(t *testing.T) {
+	nl, routes, _ := multiPinFixture(t)
+	mut := copyRoutes(routes)
+	for i, r := range mut {
+		if r == nil || len(nl.Nets[i].Pins) < 3 || len(r.Paths) < 2 {
+			continue
+		}
+		r.Paths = append(r.Paths, r.Paths[0])
+		if err := verify.Routing(nl, mut, fixOpt).Err(); err != nil {
+			t.Fatalf("self trunk reuse on net %d rejected: %v", i, err)
+		}
+		return
+	}
+	t.Fatal("no k-pin net with multiple paths found in fixture")
+}
+
+// metalSteps counts a path's same-layer unit steps.
+func metalSteps(path []geom.Pt3) int {
+	n := 0
+	for i := 1; i < len(path); i++ {
+		if path[i-1].Layer == path[i].Layer {
+			n++
+		}
+	}
+	return n
+}
+
 // handBuilt returns a 1-net netlist on an 8×8 two-layer grid plus a
 // route covering its pins, built point by point for full control over
 // the geometry under test.
