@@ -39,10 +39,16 @@ lint: sadplint
 # Cluster differential e2e: real processes, real kill -9. Proves the
 # distributed invariant (byte-identical results across standalone,
 # worker-killed and coordinator-crashed topologies). Same script as CI.
-.PHONY: cluster-e2e
+# Scenario selection via SCENARIOS ("kill crash chaos"); the chaos
+# scenario drives the -chaos fault presets (latency corrupt slow
+# spool) with verified uploads on — narrow with CHAOS_PRESETS.
+.PHONY: cluster-e2e cluster-chaos
 
 cluster-e2e:
 	bash scripts/cluster_e2e.sh
+
+cluster-chaos:
+	SCENARIOS=chaos bash scripts/cluster_e2e.sh
 
 # Benchmark entry points. bench-smoke is the CI regression gate: it
 # routes the tiny suite and compares against the committed baseline in

@@ -11,6 +11,10 @@
 //	           [-no-arena]
 //	           [-coordinator-addr http://host:port] [-worker-id w1]
 //	           [-lease-ttl 15s] [-heartbeat-every 1s]
+//	           [-verify-uploads] [-reject-budget 3]
+//	           [-hedge-multiple 0] [-hedge-min-samples 8]
+//	           [-spool-dir d] [-upload-retries 0]
+//	           [-chaos latency|corrupt|slow|spool] [-chaos-seed 1]
 //
 // Modes (see the README "Distributed serving" section):
 //
@@ -44,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -73,6 +78,14 @@ func run() int {
 	workerID := flag.String("worker-id", "", "worker mode: this worker's name (default hostname-pid)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator mode: job lease TTL; a worker silent this long loses its jobs")
 	heartbeatEvery := flag.Duration("heartbeat-every", time.Second, "worker mode: lease renewal period (keep well under -lease-ttl)")
+	verifyUploads := flag.Bool("verify-uploads", false, "coordinator mode: run the full independent verifier on every uploaded solution (structural checks are always on)")
+	rejectBudget := flag.Int("reject-budget", 0, "coordinator mode: rejected uploads a worker may accumulate before quarantine (0 = default 3; negative = never quarantine)")
+	hedgeMultiple := flag.Float64("hedge-multiple", 0, "coordinator mode: hedge jobs running longer than this multiple of the fleet median to a second worker (0 = off)")
+	hedgeMinSamples := flag.Int("hedge-min-samples", 0, "coordinator mode: completed jobs required before the median is trusted for hedging (default 8)")
+	spoolDir := flag.String("spool-dir", "", "worker mode: durable result spool directory; finished results are fsynced here before upload and replayed after a restart")
+	uploadRetries := flag.Int("upload-retries", 0, "worker mode: result upload attempts (0 = default: 5 without -spool-dir, unbounded with; negative = unbounded)")
+	chaos := flag.String("chaos", "", "worker mode: arm a chaos preset (latency, corrupt, slow, spool) — testing only")
+	chaosSeed := flag.Int64("chaos-seed", 1, "worker mode: seed for the -chaos fault sites and the retry jitter")
 	flag.Parse()
 
 	logf := log.Printf
@@ -81,7 +94,22 @@ func run() int {
 	}
 
 	if *mode == "worker" {
-		return runWorker(*coordAddr, *workerID, *workers, *heartbeatEvery, *noArena, logf)
+		wcfg := cluster.WorkerConfig{
+			Coordinator:    *coordAddr,
+			ID:             *workerID,
+			Slots:          *workers,
+			HeartbeatEvery: *heartbeatEvery,
+			SpoolDir:       *spoolDir,
+			UploadRetries:  *uploadRetries,
+			RetrySeed:      *chaosSeed,
+			NoArena:        *noArena,
+			Logf:           logf,
+		}
+		if err := armChaos(*chaos, *chaosSeed, &wcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "sadprouted: %v\n", err)
+			return 2
+		}
+		return runWorker(wcfg)
 	}
 	if *mode != "standalone" && *mode != "coordinator" {
 		fmt.Fprintf(os.Stderr, "sadprouted: unknown -mode %q (standalone, coordinator or worker)\n", *mode)
@@ -111,8 +139,12 @@ func run() int {
 	var coord *cluster.Coordinator
 	if *mode == "coordinator" {
 		coord = cluster.NewCoordinator(svc, cluster.CoordinatorConfig{
-			LeaseTTL: *leaseTTL,
-			Logf:     logf,
+			LeaseTTL:        *leaseTTL,
+			VerifyUploads:   *verifyUploads,
+			RejectBudget:    *rejectBudget,
+			HedgeMultiple:   *hedgeMultiple,
+			HedgeMinSamples: *hedgeMinSamples,
+			Logf:            logf,
 		})
 		handler = coord.Handler()
 	}
@@ -189,36 +221,71 @@ func run() int {
 	return code
 }
 
+// armChaos configures one named fault schedule on a worker config.
+// The presets mirror the internal/cluster chaos suite; they exist so
+// the shell e2e can drive the same fault classes through real
+// processes.
+func armChaos(preset string, seed int64, cfg *cluster.WorkerConfig) error {
+	if preset == "" {
+		return nil
+	}
+	inj := fault.New(seed)
+	switch preset {
+	case "latency":
+		// A slow, duplicating link: delayed pulls and result uploads,
+		// with some uploads delivered twice.
+		inj.Configure("rpc.latency:"+cluster.PathPull, fault.SiteConfig{Times: -1, Prob: 0.3})
+		inj.Configure("rpc.latency:"+cluster.PathResult, fault.SiteConfig{Times: -1, Prob: 0.5})
+		inj.Configure("rpc.dup:"+cluster.PathResult, fault.SiteConfig{Times: -1, Prob: 0.5})
+		cfg.Client = &http.Client{Transport: &fault.Transport{Injector: inj, Latency: 50 * time.Millisecond}}
+	case "corrupt":
+		// Two one-off wire flips on result uploads, after the first
+		// clean one; the coordinator's validator must catch both.
+		inj.Configure("rpc.corrupt:"+cluster.PathResult, fault.SiteConfig{After: 1, Times: 2})
+		cfg.Client = &http.Client{Transport: &fault.Transport{Injector: inj}}
+	case "slow":
+		// A straggling box: half the jobs stall before running, the
+		// hedging sweeper's target.
+		inj.Configure("worker.slow", fault.SiteConfig{Times: -1, Prob: 0.5})
+		cfg.Fault = inj
+		cfg.SlowDelay = 2 * time.Second
+	case "spool":
+		// Die once in the spool-to-upload window; the next run of the
+		// same worker (same -spool-dir) must replay the result.
+		if cfg.SpoolDir == "" {
+			return fmt.Errorf("-chaos spool requires -spool-dir")
+		}
+		inj.Configure("spool.crash", fault.SiteConfig{Times: 1})
+		cfg.Fault = inj
+	default:
+		return fmt.Errorf("unknown -chaos preset %q (latency, corrupt, slow, spool)", preset)
+	}
+	return nil
+}
+
 // runWorker runs the headless pull-execute client until SIGTERM. A
 // signal lets the current jobs finish and upload before exiting.
-func runWorker(coordAddr, id string, slots int, heartbeatEvery time.Duration, noArena bool, logf func(string, ...interface{})) int {
-	if coordAddr == "" {
+func runWorker(cfg cluster.WorkerConfig) int {
+	if cfg.Coordinator == "" {
 		fmt.Fprintln(os.Stderr, "sadprouted: -mode worker requires -coordinator-addr")
 		return 2
 	}
-	if id == "" {
+	if cfg.ID == "" {
 		host, _ := os.Hostname()
 		if host == "" {
 			host = "worker"
 		}
-		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	w := cluster.NewWorker(cluster.WorkerConfig{
-		Coordinator:    coordAddr,
-		ID:             id,
-		Slots:          slots,
-		HeartbeatEvery: heartbeatEvery,
-		NoArena:        noArena,
-		Logf:           logf,
-	})
-	log.Printf("sadprouted: worker %s pulling from %s (slots=%d)", id, coordAddr, slots)
+	w := cluster.NewWorker(cfg)
+	log.Printf("sadprouted: worker %s pulling from %s (slots=%d)", cfg.ID, cfg.Coordinator, cfg.Slots)
 	err := w.Run(ctx)
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "sadprouted: worker: %v\n", err)
 		return 1
 	}
-	log.Printf("sadprouted: worker %s exit", id)
+	log.Printf("sadprouted: worker %s exit", cfg.ID)
 	return 0
 }

@@ -468,6 +468,12 @@ func TestClusterMetricsExposition(t *testing.T) {
 		"sadprouted_cluster_requeues_total 0",
 		`sadprouted_cluster_job_seconds_count{worker="m1"} 1`,
 		"sadprouted_jobs_completed_total 1",
+		// Robustness counters render (headers at least) even when idle.
+		"# TYPE sadprouted_cluster_upload_rejects_total counter",
+		"# TYPE sadprouted_cluster_retry_attempts_total counter",
+		"sadprouted_cluster_worker_quarantines_total 0",
+		"sadprouted_cluster_hedged_dispatch_total 0",
+		"sadprouted_cluster_spool_replays_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics exposition missing %q:\n%s", want, text)

@@ -28,6 +28,25 @@ type CoordinatorConfig struct {
 	WorkerTTL time.Duration
 	// MaxPullWait caps a pull's long-poll window (default 30s).
 	MaxPullWait time.Duration
+	// VerifyUploads runs the full internal/verify re-check on every
+	// uploaded solution, on top of the always-on structural
+	// invariants (spec echo, content address, metric recount).
+	VerifyUploads bool
+	// RejectBudget is how many rejected uploads a worker may
+	// accumulate before it is quarantined: never granted work again,
+	// its in-flight jobs re-placed (default 3; negative means never
+	// quarantine).
+	RejectBudget int
+	// HedgeMultiple enables hedged straggler re-dispatch: a job
+	// running longer than HedgeMultiple × the fleet's median
+	// job-seconds is speculatively leased to a second worker; the
+	// first valid upload wins and the loser is a no-op. Zero disables
+	// hedging.
+	HedgeMultiple float64
+	// HedgeMinSamples is how many completed jobs the latency
+	// histogram needs before the median is trusted for hedging
+	// (default 8).
+	HedgeMinSamples int
 	// Logf, when set, receives one line per cluster transition.
 	Logf func(format string, args ...interface{})
 }
@@ -45,6 +64,12 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	if c.MaxPullWait <= 0 {
 		c.MaxPullWait = 30 * time.Second
 	}
+	if c.RejectBudget == 0 {
+		c.RejectBudget = 3
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 8
+	}
 	return c
 }
 
@@ -60,9 +85,23 @@ type trackedJob struct {
 	expires time.Time
 	// started stamps the current placement, for the latency histogram.
 	started time.Time
-	// excluded names workers whose lease on this job expired; the
-	// grant loop avoids them while another live worker exists.
+	// excluded names workers whose lease on this job expired (or whose
+	// upload of it was rejected); the grant loop avoids them while
+	// another live worker exists.
 	excluded map[string]bool
+
+	// Hedged straggler re-dispatch: a second, concurrent lease on the
+	// same job. hedgeWanted marks the job as running past the hedging
+	// threshold; the grant loop turns that into a hedge lease on a
+	// different worker. The primary and hedge race; the first valid
+	// upload decides the job (determinism makes the loser's bytes
+	// identical anyway) and the exactly-once terminate gate no-ops the
+	// second.
+	hedgeWanted  bool
+	hedgeWorker  string
+	hedgeLease   string
+	hedgeExpires time.Time
+	hedgeStarted time.Time
 }
 
 // workerInfo is the liveness record of one worker.
@@ -92,6 +131,13 @@ type Coordinator struct {
 	closed   bool                   // guarded by mu; Shutdown reached the drain-workers phase
 	notify   chan struct{}          // guarded by mu; closed+replaced when pending grows
 
+	// Reputation outlives workerInfo expiry on purpose: a byzantine
+	// worker must not launder its rejection count by going silent
+	// until the liveness record ages out.
+	rejects     map[string]int              // guarded by mu; worker id → rejected uploads
+	quarantined map[string]bool             // guarded by mu; workers barred from grants
+	lastRetries map[string]map[string]int64 // guarded by mu; worker id → rpc → last cumulative retry count
+
 	cancel context.CancelFunc // stops pump and sweeper
 	wg     sync.WaitGroup
 }
@@ -100,12 +146,15 @@ type Coordinator struct {
 // dequeue pump and the lease sweeper.
 func NewCoordinator(svc *service.Server, cfg CoordinatorConfig) *Coordinator {
 	c := &Coordinator{
-		svc:     svc,
-		cfg:     cfg.withDefaults(),
-		hist:    service.NewLatencyHist(),
-		jobs:    make(map[string]*trackedJob),
-		workers: make(map[string]*workerInfo),
-		notify:  make(chan struct{}),
+		svc:         svc,
+		cfg:         cfg.withDefaults(),
+		hist:        service.NewLatencyHist(),
+		jobs:        make(map[string]*trackedJob),
+		workers:     make(map[string]*workerInfo),
+		rejects:     make(map[string]int),
+		quarantined: make(map[string]bool),
+		lastRetries: make(map[string]map[string]int64),
+		notify:      make(chan struct{}),
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c.cancel = cancel
@@ -171,6 +220,16 @@ func (c *Coordinator) sweep(now time.Time) {
 			c.logf("cluster: worker %s expired (last seen %s ago)", id, now.Sub(w.lastSeen).Round(time.Millisecond))
 		}
 	}
+	// The hedging threshold: a leased job running past HedgeMultiple ×
+	// the fleet's median job-seconds qualifies for a second lease. The
+	// median comes from the same per-worker latency histogram /metrics
+	// exposes, once enough samples back it.
+	var hedgeAfter time.Duration
+	if c.cfg.HedgeMultiple > 0 {
+		if med, n := c.hist.Quantile(0.5); n >= int64(c.cfg.HedgeMinSamples) && med > 0 {
+			hedgeAfter = time.Duration(c.cfg.HedgeMultiple * med * float64(time.Second))
+		}
+	}
 	ids := make([]string, 0, len(c.jobs))
 	for id := range c.jobs {
 		ids = append(ids, id)
@@ -178,26 +237,105 @@ func (c *Coordinator) sweep(now time.Time) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		t := c.jobs[id]
-		if !t.leased || now.Before(t.expires) {
+		if t.hedgeLease != "" && !now.Before(t.hedgeExpires) {
+			// The hedge worker went silent; the primary is unaffected.
+			c.logf("cluster: job %s hedge lease expired on %s", id, t.hedgeWorker)
+			t.excluded[t.hedgeWorker] = true
+			c.clearHedgeLocked(t)
+		}
+		if t.leased && !now.Before(t.expires) {
+			holder := t.worker
+			t.excluded[holder] = true
+			t.leased = false
+			t.worker = ""
+			t.lease = ""
+			c.svc.Metrics().ClusterRequeues.Add(1)
+			c.logf("cluster: job %s lease expired on %s (attempt %d/%d)", id, holder, t.a.Attempts(), c.svc.MaxAttempts())
+			if t.hedgeLease != "" {
+				// The straggler died but its hedge is live: promote it
+				// instead of requeueing — the job never stops running.
+				c.promoteHedgeLocked(id, t)
+				continue
+			}
+			c.requeueLocked(id, t)
 			continue
 		}
-		holder := t.worker
-		t.excluded[holder] = true
-		t.leased = false
-		t.worker = ""
-		t.lease = ""
-		c.svc.Metrics().ClusterRequeues.Add(1)
-		c.logf("cluster: job %s lease expired on %s (attempt %d/%d)", id, holder, t.a.Attempts(), c.svc.MaxAttempts())
-		if t.a.Attempts() >= c.svc.MaxAttempts() {
-			// The attempt budget was consumed by dead workers — same
-			// verdict as crash-interrupted jobs on journal replay.
-			c.svc.FailInterrupted(t.a)
-			delete(c.jobs, id)
-			continue
+		if hedgeAfter > 0 && t.leased && !t.hedgeWanted && t.hedgeLease == "" &&
+			now.Sub(t.started) > hedgeAfter && t.a.Attempts() < c.svc.MaxAttempts() {
+			t.hedgeWanted = true
+			c.logf("cluster: job %s on %s running %s (> %s), hedging", id, t.worker,
+				now.Sub(t.started).Round(time.Millisecond), hedgeAfter.Round(time.Millisecond))
+			c.broadcastLocked()
 		}
-		c.svc.Requeue(t.a)
-		c.pending = append(c.pending, id)
-		c.broadcastLocked()
+	}
+}
+
+// requeueLocked returns a job whose lease fields are already cleared
+// to the pending list, or fails it when the attempt budget is spent —
+// the same verdict as crash-interrupted jobs on journal replay.
+// Callers hold mu.
+func (c *Coordinator) requeueLocked(id string, t *trackedJob) {
+	if t.a.Attempts() >= c.svc.MaxAttempts() {
+		c.svc.FailInterrupted(t.a)
+		delete(c.jobs, id)
+		return
+	}
+	c.svc.Requeue(t.a)
+	c.pending = append(c.pending, id)
+	c.broadcastLocked()
+}
+
+// clearHedgeLocked drops a job's hedge lease (keeping hedgeWanted, so
+// a still-slow primary can be re-hedged). Callers hold mu.
+func (c *Coordinator) clearHedgeLocked(t *trackedJob) {
+	t.hedgeWorker = ""
+	t.hedgeLease = ""
+	t.hedgeExpires = time.Time{}
+	t.hedgeStarted = time.Time{}
+}
+
+// promoteHedgeLocked makes a job's live hedge lease its primary after
+// the original holder died or was rejected. Callers hold mu.
+func (c *Coordinator) promoteHedgeLocked(id string, t *trackedJob) {
+	t.leased = true
+	t.worker = t.hedgeWorker
+	t.lease = t.hedgeLease
+	t.expires = t.hedgeExpires
+	t.started = t.hedgeStarted
+	c.clearHedgeLocked(t)
+	c.logf("cluster: job %s hedge on %s promoted to primary", id, t.worker)
+}
+
+// quarantineWorkerLocked bars a worker that exhausted its rejection
+// budget from all future grants and re-places everything it holds
+// (primary and hedge leases alike). Callers hold mu.
+func (c *Coordinator) quarantineWorkerLocked(workerID string) {
+	c.quarantined[workerID] = true
+	c.svc.Metrics().ClusterWorkerQuarantines.Add(1)
+	c.logf("cluster: worker %s quarantined after %d rejected uploads", workerID, c.rejects[workerID])
+	ids := make([]string, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := c.jobs[id]
+		if t.hedgeLease != "" && t.hedgeWorker == workerID {
+			t.excluded[workerID] = true
+			c.clearHedgeLocked(t)
+		}
+		if t.leased && t.worker == workerID {
+			t.excluded[workerID] = true
+			t.leased = false
+			t.worker = ""
+			t.lease = ""
+			c.svc.Metrics().ClusterRequeues.Add(1)
+			if t.hedgeLease != "" {
+				c.promoteHedgeLocked(id, t)
+			} else {
+				c.requeueLocked(id, t)
+			}
+		}
 	}
 }
 
@@ -246,18 +384,58 @@ func (c *Coordinator) tryGrantLocked(workerID string, now time.Time) *JobAssignm
 		t.expires = now.Add(c.cfg.LeaseTTL)
 		t.started = now
 		attempt := c.svc.StartAttempt(t.a, workerID)
-		return &JobAssignment{
-			ID:         t.a.ID,
-			Key:        t.a.Key,
-			Netlist:    t.a.Netlist,
-			Spec:       t.a.Spec,
-			Lease:      t.lease,
-			Attempt:    attempt,
-			LeaseTTLMS: int(c.cfg.LeaseTTL / time.Millisecond),
-			TimeoutMS:  int(c.svc.JobTimeout() / time.Millisecond),
+		return c.assignmentLocked(t, t.lease, attempt)
+	}
+	return c.tryGrantHedgeLocked(workerID, now)
+}
+
+// tryGrantHedgeLocked places a hedge lease: a second concurrent
+// execution of a job the sweeper flagged as a straggler, on a worker
+// other than the current holder. Consumes an attempt like any other
+// placement, so the journal and the attempt bound stay truthful.
+// Callers hold mu.
+func (c *Coordinator) tryGrantHedgeLocked(workerID string, now time.Time) *JobAssignment {
+	if c.cfg.HedgeMultiple <= 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := c.jobs[id]
+		if !t.hedgeWanted || !t.leased || t.hedgeLease != "" ||
+			t.worker == workerID || t.excluded[workerID] ||
+			t.a.Attempts() >= c.svc.MaxAttempts() {
+			continue
 		}
+		c.leaseSeq++
+		t.hedgeWorker = workerID
+		t.hedgeLease = fmt.Sprintf("L%08d", c.leaseSeq)
+		t.hedgeExpires = now.Add(c.cfg.LeaseTTL)
+		t.hedgeStarted = now
+		attempt := c.svc.StartAttempt(t.a, workerID)
+		c.svc.Metrics().ClusterHedged.Add(1)
+		c.logf("cluster: job %s hedged on %s (primary %s)", id, workerID, t.worker)
+		return c.assignmentLocked(t, t.hedgeLease, attempt)
 	}
 	return nil
+}
+
+// assignmentLocked renders the wire assignment for one granted lease.
+// Callers hold mu.
+func (c *Coordinator) assignmentLocked(t *trackedJob, lease string, attempt int) *JobAssignment {
+	return &JobAssignment{
+		ID:         t.a.ID,
+		Key:        t.a.Key,
+		Netlist:    t.a.Netlist,
+		Spec:       t.a.Spec,
+		Lease:      lease,
+		Attempt:    attempt,
+		LeaseTTLMS: int(c.cfg.LeaseTTL / time.Millisecond),
+		TimeoutMS:  int(c.svc.JobTimeout() / time.Millisecond),
+	}
 }
 
 // handlePull answers a worker's long-poll for work.
@@ -276,6 +454,11 @@ func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
 		now := time.Now()
 		c.mu.Lock()
 		c.touchWorkerLocked(req.WorkerID, now)
+		if c.quarantined[req.WorkerID] {
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, PullResponse{Quarantined: true})
+			return
+		}
 		if c.closed {
 			c.mu.Unlock()
 			writeJSON(w, http.StatusOK, PullResponse{Draining: true})
@@ -308,14 +491,25 @@ func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResult ingests one uploaded result. The contract is
-// idempotent and safe under stale leases:
+// idempotent, safe under stale leases, and — new with verified
+// uploads — trustless toward workers:
 //
 //   - unknown job id, terminal in the store → "duplicate" (no-op);
-//   - tracked job, fresh lease → the upload decides the job;
-//   - tracked job, stale/expired lease, success payload → accepted
-//     anyway: the flow is deterministic, so the late worker's bytes
-//     equal what the rerun would produce, and the exactly-once
-//     terminate gate keeps whichever lands second a no-op;
+//   - success payloads are validated before they can decide the job:
+//     structural invariants always (content address, spec echo,
+//     degraded flag, metric recount of the solution geometry), the
+//     full internal/verify re-check when VerifyUploads is set. A
+//     failing payload is "rejected": the job is re-placed away from
+//     the uploader, the uploader's reputation is charged, and past
+//     RejectBudget the worker is quarantined with everything it held
+//     re-placed;
+//   - tracked job, fresh lease (primary or hedge), valid payload →
+//     the upload decides the job;
+//   - tracked job, stale/expired lease, valid success payload →
+//     accepted anyway: the flow is deterministic, so the late
+//     worker's bytes equal what the rerun would produce, and the
+//     exactly-once terminate gate keeps whichever lands second a
+//     no-op;
 //   - tracked job, stale lease, error/panic payload → "stale" no-op:
 //     a presumed-dead worker must not fail a job another worker may
 //     still complete.
@@ -327,12 +521,19 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	success := len(req.Result) > 0 && req.Error == "" && req.Panic == ""
+	if req.SpoolReplay {
+		c.svc.Metrics().ClusterSpoolReplays.Add(1)
+	}
 
 	c.mu.Lock()
 	c.touchWorkerLocked(req.WorkerID, now)
 	t, tracked := c.jobs[req.JobID]
+	var a *service.Assignment
+	if tracked {
+		a = t.a
+	}
+	c.mu.Unlock()
 	if !tracked {
-		c.mu.Unlock()
 		if resp, ok := c.svc.Lookup(req.JobID); ok && isTerminal(resp.Status) {
 			c.svc.Metrics().ClusterDupResults.Add(1)
 			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultDuplicate})
@@ -341,12 +542,37 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("no live job %q", req.JobID)})
 		return
 	}
+
+	// Validate outside the lock: the full verify re-check re-colors
+	// via layers and must not stall pulls and heartbeats. The job
+	// fields it needs are immutable, and the decision below re-checks
+	// the tracking state after relocking.
+	reason := ""
+	var vErr error
+	if req.Key != a.Key {
+		reason, vErr = rejectContentAddress, fmt.Errorf("upload quotes key %.12s, job is %.12s", req.Key, a.Key)
+	} else if success {
+		reason, vErr = validateUpload(a, &req, c.cfg.VerifyUploads)
+	}
+
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	if req.Key != t.a.Key {
-		writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "content address mismatch"})
+	t, tracked = c.jobs[req.JobID]
+	if !tracked {
+		// The job went terminal while this upload was being validated.
+		c.svc.Metrics().ClusterDupResults.Add(1)
+		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultDuplicate})
 		return
 	}
-	fresh := t.leased && t.lease == req.Lease && t.worker == req.WorkerID
+	freshPrimary := t.leased && t.lease == req.Lease && t.worker == req.WorkerID
+	freshHedge := t.hedgeLease != "" && t.hedgeLease == req.Lease && t.hedgeWorker == req.WorkerID
+	fresh := freshPrimary || freshHedge
+
+	if reason != "" {
+		c.rejectUploadLocked(t, &req, freshPrimary, freshHedge, reason, vErr)
+		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultRejected, Reason: reason})
+		return
+	}
 
 	switch {
 	case success:
@@ -354,7 +580,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			c.svc.Metrics().ClusterStaleResults.Add(1)
 		}
 		if c.svc.CompleteExternal(t.a, req.Result, req.Degraded, req.WorkerID) {
-			if fresh {
+			if freshHedge {
+				c.hist.Observe(req.WorkerID, now.Sub(t.hedgeStarted))
+			} else if freshPrimary {
 				c.hist.Observe(req.WorkerID, now.Sub(t.started))
 			}
 			c.dropJobLocked(req.JobID)
@@ -371,6 +599,14 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultStale})
 			return
 		}
+		if freshHedge {
+			// The hedge crashed; the primary is still running — drop
+			// the hedge and let the job be.
+			t.excluded[req.WorkerID] = true
+			c.clearHedgeLocked(t)
+			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
+			return
+		}
 		if t.a.Attempts() >= c.svc.MaxAttempts() {
 			msg := fmt.Sprintf("quarantined after %d panicking attempts: %s", t.a.Attempts(), req.Panic)
 			c.svc.QuarantineExternal(t.a, msg)
@@ -381,9 +617,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			t.leased = false
 			t.worker = ""
 			t.lease = ""
-			c.svc.Requeue(t.a)
-			c.pending = append(c.pending, req.JobID)
-			c.broadcastLocked()
+			if t.hedgeLease != "" {
+				c.promoteHedgeLocked(req.JobID, t)
+			} else {
+				c.svc.Requeue(t.a)
+				c.pending = append(c.pending, req.JobID)
+				c.broadcastLocked()
+			}
 		}
 		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
 
@@ -393,9 +633,45 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultStale})
 			return
 		}
+		if freshHedge && t.leased {
+			// The hedge failed (e.g. its deadline) while the primary
+			// still runs; don't fail a job another execution may finish.
+			t.excluded[req.WorkerID] = true
+			c.clearHedgeLocked(t)
+			writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
+			return
+		}
 		c.svc.FailExternal(t.a, req.Error, req.Canceled)
 		c.dropJobLocked(req.JobID)
 		writeJSON(w, http.StatusOK, ResultResponse{Status: ResultAccepted})
+	}
+}
+
+// rejectUploadLocked applies the consequences of a rejected upload:
+// the per-reason counter, the job's re-placement away from the
+// uploader, the uploader's reputation charge and — past the budget —
+// its quarantine. Callers hold mu.
+func (c *Coordinator) rejectUploadLocked(t *trackedJob, req *ResultRequest, freshPrimary, freshHedge bool, reason string, vErr error) {
+	c.svc.Metrics().ClusterUploadRejects.Add(reason, 1)
+	c.logf("cluster: job %s upload from %s rejected (%s): %v", req.JobID, req.WorkerID, reason, vErr)
+	if freshPrimary {
+		t.excluded[req.WorkerID] = true
+		t.leased = false
+		t.worker = ""
+		t.lease = ""
+		c.svc.Metrics().ClusterRequeues.Add(1)
+		if t.hedgeLease != "" {
+			c.promoteHedgeLocked(req.JobID, t)
+		} else {
+			c.requeueLocked(req.JobID, t)
+		}
+	} else if freshHedge {
+		t.excluded[req.WorkerID] = true
+		c.clearHedgeLocked(t)
+	}
+	c.rejects[req.WorkerID]++
+	if c.cfg.RejectBudget >= 0 && c.rejects[req.WorkerID] > c.cfg.RejectBudget && !c.quarantined[req.WorkerID] {
+		c.quarantineWorkerLocked(req.WorkerID)
 	}
 }
 
@@ -430,11 +706,42 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	c.touchWorkerLocked(req.WorkerID, now)
 	for _, id := range ids {
 		t, ok := c.jobs[id]
-		if ok && t.leased && t.worker == req.WorkerID && t.lease == req.Jobs[id] {
+		switch {
+		case ok && t.leased && t.worker == req.WorkerID && t.lease == req.Jobs[id]:
 			t.expires = now.Add(c.cfg.LeaseTTL)
 			resp.Renewed = append(resp.Renewed, id)
-		} else {
+		case ok && t.hedgeLease != "" && t.hedgeWorker == req.WorkerID && t.hedgeLease == req.Jobs[id]:
+			t.hedgeExpires = now.Add(c.cfg.LeaseTTL)
+			resp.Renewed = append(resp.Renewed, id)
+		default:
 			resp.Lost = append(resp.Lost, id)
+		}
+	}
+	// Fold the worker's cumulative retry counters into the cluster
+	// exposition as deltas. A count below the last seen one means the
+	// worker restarted and its counters reset; the new total is all
+	// delta.
+	if len(req.RetryAttempts) > 0 {
+		last := c.lastRetries[req.WorkerID]
+		if last == nil {
+			last = make(map[string]int64)
+			c.lastRetries[req.WorkerID] = last
+		}
+		rpcs := make([]string, 0, len(req.RetryAttempts))
+		for rpc := range req.RetryAttempts {
+			rpcs = append(rpcs, rpc)
+		}
+		sort.Strings(rpcs)
+		for _, rpc := range rpcs {
+			n := req.RetryAttempts[rpc]
+			prev := last[rpc]
+			if n < prev {
+				prev = 0
+			}
+			if n > prev {
+				c.svc.Metrics().ClusterRetryAttempts.Add(rpc, n-prev)
+			}
+			last[rpc] = n
 		}
 	}
 	c.mu.Unlock()

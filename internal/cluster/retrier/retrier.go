@@ -1,0 +1,192 @@
+// Package retrier is the cluster's one retry policy: capped
+// exponential backoff with deterministic seeded jitter. Every RPC loop
+// in internal/cluster (pull, result upload, heartbeat) sleeps through
+// it instead of a flat PollInterval, so transient coordinator restarts
+// back off politely while a fleet of workers doesn't thundering-herd
+// the moment it returns.
+//
+// Determinism: the jitter stream is a seeded *rand.Rand derived from
+// the retrier name and an explicit seed (the same construction the
+// fault injector uses), never the global math/rand or the wall clock —
+// sadplint/detclock-clean by construction. Two retriers with the same
+// name, seed and call sequence produce the same backoff schedule.
+//
+// Cancellation: every sleep selects on the caller's context, so a
+// worker shutting down mid-backoff exits immediately instead of
+// blocking in time.Sleep — the bug this package exists to fix.
+package retrier
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy shapes one retry loop. Zero values take the defaults noted.
+type Policy struct {
+	// Base is the first backoff (default 100ms).
+	Base time.Duration
+	// Cap bounds any single backoff (default 10s).
+	Cap time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter in [0,1] is the fraction of each backoff that is
+	// randomized away (default 0.5): the sleep is uniform in
+	// [d·(1−Jitter), d]. Zero jitter is legal but invites synchronized
+	// retry storms; negative disables the default and means none.
+	Jitter float64
+	// MaxAttempts bounds Do's total attempts (first try included).
+	// <= 0 means unbounded: Do retries until the operation succeeds,
+	// returns a Permanent error, or the context ends.
+	MaxAttempts int
+	// OnRetry, when set, observes each retry (called before the sleep
+	// preceding attempt n, with n >= 2) — the hook behind the
+	// cluster_retry_attempts_total metric.
+	OnRetry func(attempt int)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 10 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Retrier executes operations under a Policy. It is safe for
+// concurrent use; the jitter stream is serialized under an internal
+// lock, so concurrent users interleave draws from one deterministic
+// sequence.
+type Retrier struct {
+	p Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu
+}
+
+// New builds a retrier whose jitter derives from (name, seed) — same
+// name and seed, same schedule.
+func New(name string, seed int64, p Policy) *Retrier {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return &Retrier{
+		p:   p.withDefaults(),
+		rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64()))),
+	}
+}
+
+// Backoff returns the sleep before retry attempt n (n >= 2; the first
+// attempt has no backoff). It consumes one jitter draw per call.
+func (r *Retrier) Backoff(attempt int) time.Duration {
+	if attempt < 2 {
+		return 0
+	}
+	d := float64(r.p.Base)
+	for i := 2; i < attempt; i++ {
+		d *= r.p.Multiplier
+		if d >= float64(r.p.Cap) {
+			break
+		}
+	}
+	if d > float64(r.p.Cap) {
+		d = float64(r.p.Cap)
+	}
+	if r.p.Jitter > 0 {
+		r.mu.Lock()
+		f := r.rng.Float64()
+		r.mu.Unlock()
+		d -= d * r.p.Jitter * f
+	}
+	return time.Duration(d)
+}
+
+// Sleep blocks for Backoff(attempt) or until ctx ends, returning
+// ctx.Err() in the latter case.
+func (r *Retrier) Sleep(ctx context.Context, attempt int) error {
+	d := r.Backoff(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// permanentError marks an error Do must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Do stops retrying and returns it (its
+// unwrapped form) immediately — the classification for 4xx RPC
+// answers, where retrying the same bytes cannot succeed.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs op until it succeeds, returns a Permanent error, the attempt
+// budget is spent, or ctx ends. The first attempt runs immediately;
+// each retry sleeps Backoff first. The returned error is the last
+// operation error (unwrapped of the Permanent marker), or ctx.Err()
+// joined with it when the context ended mid-backoff.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return errors.Join(err, last)
+			}
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+		if r.p.MaxAttempts > 0 && attempt >= r.p.MaxAttempts {
+			return last
+		}
+		if r.p.OnRetry != nil {
+			r.p.OnRetry(attempt + 1)
+		}
+		if serr := r.Sleep(ctx, attempt+1); serr != nil {
+			return errors.Join(serr, last)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package retrier
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffCappedExponential(t *testing.T) {
+	r := New("t", 1, Policy{Base: 100 * time.Millisecond, Cap: time.Second, Multiplier: 2, Jitter: -1})
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 2
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if got := r.Backoff(i + 2); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+2, got, w)
+		}
+	}
+	if got := r.Backoff(1); got != 0 {
+		t.Fatalf("Backoff(1) = %v, want 0 (first attempt has no backoff)", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.5}
+	a := New("same", 42, p)
+	b := New("same", 42, p)
+	for n := 2; n < 10; n++ {
+		da, db := a.Backoff(n), b.Backoff(n)
+		if da != db {
+			t.Fatalf("attempt %d: same name+seed diverged: %v vs %v", n, da, db)
+		}
+		full := New("ref", 0, Policy{Base: p.Base, Cap: p.Cap, Jitter: -1}).Backoff(n)
+		if da > full || da < full/2 {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]", n, da, full/2, full)
+		}
+	}
+	if c := New("other", 42, p); c.Backoff(2) == a.Backoff(99) {
+		// Different names should (overwhelmingly) draw different
+		// streams; equality here would indicate the name is ignored.
+		t.Log("warning: jitter collision across names (possible but unlikely)")
+	}
+}
+
+func TestDoStopsOnSuccessAndCountsRetries(t *testing.T) {
+	var retries []int
+	r := New("t", 1, Policy{Base: time.Microsecond, OnRetry: func(n int) { retries = append(retries, n) }})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+	if len(retries) != 2 || retries[0] != 2 || retries[1] != 3 {
+		t.Fatalf("OnRetry saw %v, want [2 3]", retries)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	r := New("t", 1, Policy{Base: time.Microsecond})
+	calls := 0
+	sentinel := errors.New("bad request")
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want sentinel after exactly 1 call", err, calls)
+	}
+	if IsPermanent(err) {
+		t.Fatal("Do must unwrap the Permanent marker")
+	}
+}
+
+func TestDoRespectsMaxAttempts(t *testing.T) {
+	r := New("t", 1, Policy{Base: time.Microsecond, MaxAttempts: 3})
+	calls := 0
+	sentinel := errors.New("down")
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want sentinel after exactly 3 calls", err, calls)
+	}
+}
+
+func TestDoCancelableMidBackoff(t *testing.T) {
+	// The satellite fix: a retry loop sleeping a long backoff must
+	// return promptly when the context is canceled.
+	r := New("t", 1, Policy{Base: time.Hour, Jitter: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, func(context.Context) error { return errors.New("always") })
+	}()
+	time.Sleep(10 * time.Millisecond) // let it enter the backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v, want context.Canceled in chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancel — sleep is not context-aware")
+	}
+}
+
+func TestSleepZeroOnFirstAttempt(t *testing.T) {
+	r := New("t", 1, Policy{Base: time.Hour})
+	if err := r.Sleep(context.Background(), 1); err != nil {
+		t.Fatalf("Sleep(1) = %v, want nil without blocking", err)
+	}
+}

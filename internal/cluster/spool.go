@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// resultSpool is the worker's durable staging area for finished
+// results: a directory of one JSON file per computed-but-unconfirmed
+// upload. Put runs before the first upload attempt and is fsynced
+// (file and directory), so once a result exists it survives kill -9;
+// a restarted worker replays every spooled file before pulling new
+// work and removes each one only after the coordinator answers a
+// terminal verdict. Together with the coordinator's exactly-once
+// terminate gate (replays of already-decided jobs are answered
+// "duplicate"/"stale" no-ops) this makes silent result loss
+// impossible: a computed result is either confirmed uploaded or still
+// on disk.
+//
+// A nil *resultSpool (spooling disabled) is inert: every method
+// no-ops, preserving PR 7's stateless-worker behavior.
+type resultSpool struct {
+	dir string
+}
+
+// openResultSpool creates the spool directory (if needed) and returns
+// a handle. An empty dir disables spooling (nil spool).
+func openResultSpool(dir string) (*resultSpool, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	return &resultSpool{dir: dir}, nil
+}
+
+const spoolSuffix = ".result.json"
+
+func (s *resultSpool) path(jobID string) string {
+	return filepath.Join(s.dir, jobID+spoolSuffix)
+}
+
+// Put durably stages one upload: write to a temp file, fsync it,
+// rename into place, fsync the directory. Job IDs are
+// filesystem-safe by construction (j%06d-hex).
+func (s *resultSpool) Put(req *ResultRequest) error {
+	if s == nil {
+		return nil
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("spool %s: marshal: %w", req.JobID, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, req.JobID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("spool %s: %w", req.JobID, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("spool %s: write: %w", req.JobID, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("spool %s: fsync: %w", req.JobID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("spool %s: close: %w", req.JobID, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(req.JobID)); err != nil {
+		return fmt.Errorf("spool %s: rename: %w", req.JobID, err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Remove deletes a confirmed upload's spool file.
+func (s *resultSpool) Remove(jobID string) {
+	if s == nil {
+		return
+	}
+	os.Remove(s.path(jobID))
+}
+
+// Pending loads every spooled upload in sorted job-ID order (job IDs
+// are zero-padded counters, so this is submission order). Unreadable
+// or truncated files — a crash mid-Put before the rename cannot leave
+// one, but a corrupted disk can — are skipped with their paths
+// reported, never fatal: one bad file must not strand the rest.
+func (s *resultSpool) Pending() (reqs []ResultRequest, skipped []string, err error) {
+	if s == nil {
+		return nil, nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spool: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), spoolSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw, rerr := os.ReadFile(filepath.Join(s.dir, name))
+		if rerr != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		var req ResultRequest
+		if jerr := json.Unmarshal(raw, &req); jerr != nil || req.JobID == "" {
+			skipped = append(skipped, name)
+			continue
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, skipped, nil
+}

@@ -73,10 +73,13 @@ type JobAssignment struct {
 
 // PullResponse answers a pull. A nil Job means no work was available
 // within the wait window; Draining tells the worker the coordinator is
-// shutting down and it should exit its pull loop.
+// shutting down and it should exit its pull loop; Quarantined tells a
+// worker that exceeded the upload-rejection budget it will never be
+// granted work again and should exit with an error an operator sees.
 type PullResponse struct {
-	Job      *JobAssignment `json:"job,omitempty"`
-	Draining bool           `json:"draining,omitempty"`
+	Job         *JobAssignment `json:"job,omitempty"`
+	Draining    bool           `json:"draining,omitempty"`
+	Quarantined bool           `json:"quarantined,omitempty"`
 }
 
 // ResultRequest uploads one finished job. Exactly one of Result,
@@ -98,6 +101,10 @@ type ResultRequest struct {
 	// Canceled marks an Error caused by the job deadline.
 	Canceled bool   `json:"canceled,omitempty"`
 	Panic    string `json:"panic,omitempty"`
+	// SpoolReplay marks an upload replayed from the worker's durable
+	// result spool after a restart (metrics only; the idempotency
+	// contract already makes the replay itself safe).
+	SpoolReplay bool `json:"spool_replay,omitempty"`
 }
 
 // Result upload verdicts.
@@ -113,11 +120,18 @@ const (
 	// "accepted" instead — deterministic results make it as good as
 	// the rerun's).
 	ResultStale = "stale"
+	// ResultRejected: the coordinator's validator refused the payload
+	// (corrupt, inconsistent, or failing the full verify re-check);
+	// the job was requeued for another worker and this upload must not
+	// be retried — the same bytes can never pass.
+	ResultRejected = "rejected"
 )
 
-// ResultResponse answers a result upload.
+// ResultResponse answers a result upload. Reason carries the
+// validator's rejection class when Status is "rejected".
 type ResultResponse struct {
 	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // HeartbeatRequest renews a worker's liveness and its leases.
@@ -126,6 +140,11 @@ type HeartbeatRequest struct {
 	// Jobs maps job ID → lease token for every job the worker is
 	// currently executing.
 	Jobs map[string]string `json:"jobs,omitempty"`
+	// RetryAttempts reports the worker's cumulative RPC retry counts
+	// by RPC name ("pull", "result", "heartbeat"); the coordinator
+	// accumulates the deltas into its
+	// cluster_retry_attempts_total{rpc} exposition.
+	RetryAttempts map[string]int64 `json:"retry_attempts,omitempty"`
 }
 
 // HeartbeatResponse lists which leases were renewed and which are

@@ -1,21 +1,31 @@
 package fault
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 )
 
 // Transport is an http.RoundTripper that threads cluster RPC traffic
 // through the injector, giving the chaos suite network-level faults
 // the in-process sites can't express:
 //
-//	"rpc.drop:<path>" — fail the request with ErrInjected before it is
-//	sent (a dropped/partitioned connection from the caller's view).
-//	"rpc.dup:<path>"  — deliver the request twice: a cloned copy is
+//	"rpc.drop:<path>"    — fail the request with ErrInjected before it
+//	is sent (a dropped/partitioned connection from the caller's view).
+//	"rpc.dup:<path>"     — deliver the request twice: a cloned copy is
 //	sent (and its response discarded) before the original, modeling an
 //	at-least-once retry layer duplicating a delivered request. This is
 //	the harness behind the idempotent-result-upload tests.
+//	"rpc.latency:<path>" — delay the request by Latency before sending
+//	it (a slow or congested link). The sleep honors the request
+//	context, so a canceled caller is not held hostage.
+//	"rpc.corrupt:<path>" — flip one deterministically-chosen bit of
+//	the request body before sending it, modeling in-flight corruption
+//	that survives TCP's weak checksum. This is the harness behind the
+//	coordinator's verified-upload tests: the mangled body must be
+//	rejected, never stored.
 //
 // Site names are keyed by URL path so a test can duplicate result
 // uploads without touching heartbeats. A nil injector (or Transport)
@@ -26,6 +36,9 @@ type Transport struct {
 	Base http.RoundTripper
 	// Injector supplies the fault decisions; nil means no faults.
 	Injector *Injector
+	// Latency is the delay applied when an "rpc.latency:<path>" site
+	// trips (default 50ms).
+	Latency time.Duration
 }
 
 func (t *Transport) base() http.RoundTripper {
@@ -43,6 +56,41 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	if err := in.Inject("rpc.drop:" + req.URL.Path); err != nil {
 		return nil, fmt.Errorf("rpc %s: %w", req.URL.Path, err)
+	}
+	if err := in.Inject("rpc.latency:" + req.URL.Path); err != nil {
+		d := 50 * time.Millisecond
+		if t != nil && t.Latency > 0 {
+			d = t.Latency
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if err := in.Inject("rpc.corrupt:" + req.URL.Path); err != nil {
+		// In-flight corruption: flip one bit in the middle of the body.
+		// The receiver must catch it — either as a decode failure or,
+		// when the flip lands inside a JSON value, as a validation
+		// reject. GetBody is set for the byte-slice bodies the cluster
+		// RPCs use; a request without one passes through unmangled.
+		if req.GetBody != nil {
+			if body, berr := req.GetBody(); berr == nil {
+				raw, rerr := io.ReadAll(body)
+				body.Close()
+				if rerr == nil && len(raw) > 0 {
+					raw[len(raw)/2] ^= 0x01
+					req = req.Clone(req.Context())
+					req.Body = io.NopCloser(bytes.NewReader(raw))
+					req.ContentLength = int64(len(raw))
+					// The corrupted request is what goes on the wire; a
+					// retry layer re-reading GetBody gets the original
+					// bytes, like a real one-off wire flip.
+				}
+			}
+		}
 	}
 	if err := in.Inject("rpc.dup:" + req.URL.Path); err != nil {
 		// Duplicate delivery: send a clone first and discard its

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func postVia(t *testing.T, tr *Transport, url, path, body string) (*http.Response, error) {
@@ -99,5 +100,111 @@ func TestTransportDuplicate(t *testing.T) {
 	resp.Body.Close()
 	if len(bodies) != 3 {
 		t.Fatalf("server saw %d deliveries, want 3", len(bodies))
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	inj := New(1)
+	inj.Configure("rpc.latency:/slow", SiteConfig{Times: 1})
+	tr := &Transport{Injector: inj, Latency: 80 * time.Millisecond}
+
+	start := time.Now()
+	resp, err := postVia(t, tr, ts.URL, "/slow", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("request completed in %v, want >= 80ms injected latency", d)
+	}
+	// Site exhausted: the next request is fast.
+	start = time.Now()
+	resp, err = postVia(t, tr, ts.URL, "/slow", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d > 60*time.Millisecond {
+		t.Fatalf("untripped request took %v", d)
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("delayed request reached the server despite cancellation")
+	}))
+	defer ts.Close()
+
+	inj := New(1)
+	inj.Configure("rpc.latency:/slow", SiteConfig{Times: 1})
+	tr := &Transport{Injector: inj, Latency: 10 * time.Second}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/slow", bytes.NewReader([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	client := &http.Client{Transport: tr, Timeout: 50 * time.Millisecond}
+	go func() {
+		_, derr := client.Do(req)
+		done <- derr
+	}()
+	select {
+	case derr := <-done:
+		if derr == nil {
+			t.Fatal("want timeout error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("latency sleep ignored the request context")
+	}
+}
+
+func TestTransportCorrupt(t *testing.T) {
+	var bodies [][]byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, b)
+	}))
+	defer ts.Close()
+
+	inj := New(1)
+	inj.Configure("rpc.corrupt:/up", SiteConfig{Times: 1})
+	tr := &Transport{Injector: inj}
+
+	orig := `{"k":"0123456789"}`
+	resp, err := postVia(t, tr, ts.URL, "/up", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 1 {
+		t.Fatalf("server saw %d deliveries, want 1", len(bodies))
+	}
+	if string(bodies[0]) == orig {
+		t.Fatal("body arrived unmangled despite tripped corrupt site")
+	}
+	if len(bodies[0]) != len(orig) {
+		t.Fatalf("corruption changed length: %d vs %d", len(bodies[0]), len(orig))
+	}
+	diff := 0
+	for i := range orig {
+		if bodies[0][i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption touched %d bytes, want exactly 1", diff)
+	}
+	// Site exhausted: the next delivery is clean.
+	resp, err = postVia(t, tr, ts.URL, "/up", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if string(bodies[1]) != orig {
+		t.Fatal("untripped request was mangled")
 	}
 }

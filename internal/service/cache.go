@@ -96,6 +96,17 @@ func (c *resultCache) Len() int {
 //   - ILPTimeLimit and ILPNodeLimit are dropped unless the method is
 //     the ILP (and a zero time limit becomes the documented 10-minute
 //     default).
+//
+// ContentAddress exposes the submission content address to the
+// cluster coordinator's upload validator: a worker's result must echo
+// a spec that, combined with the job's netlist, re-derives the very
+// key the job was accepted under. Any tampering with the echoed spec
+// (or a result for the wrong input) changes the address and is
+// rejected before it can reach the cache or the journal.
+func ContentAddress(netlistText string, spec bench.RunSpec) (string, error) {
+	return cacheKey(netlistText, spec)
+}
+
 func cacheKey(netlistText string, spec bench.RunSpec) (string, error) {
 	norm := spec
 	norm.Workers = 0

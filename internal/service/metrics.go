@@ -59,6 +59,77 @@ type Metrics struct {
 	// ClusterStaleResults counts result uploads that arrived under an
 	// expired lease.
 	ClusterStaleResults atomic.Int64
+	// ClusterUploadRejects counts result uploads the coordinator's
+	// validator refused, partitioned by rejection reason ("spec-echo",
+	// "content-address", "metric-recount", "verify", ...).
+	ClusterUploadRejects LabeledCounter
+	// ClusterWorkerQuarantines counts workers quarantined for exceeding
+	// the upload-rejection budget.
+	ClusterWorkerQuarantines atomic.Int64
+	// ClusterHedged counts speculative straggler re-dispatches (a
+	// second lease placed on a job running far past the fleet median).
+	ClusterHedged atomic.Int64
+	// ClusterRetryAttempts counts worker-side RPC retries, partitioned
+	// by RPC name ("pull", "result", "heartbeat"). Workers report
+	// cumulative counts in heartbeats; the coordinator accumulates the
+	// deltas here.
+	ClusterRetryAttempts LabeledCounter
+	// ClusterSpoolReplays counts result uploads replayed from a
+	// worker's durable spool after a restart.
+	ClusterSpoolReplays atomic.Int64
+}
+
+// LabeledCounter is a monotonic counter partitioned by one label value
+// — the hand-rolled stand-in for a Prometheus counter vec.
+type LabeledCounter struct {
+	mu   sync.Mutex
+	vals map[string]int64 // guarded by mu
+}
+
+// Add increments the label's count.
+func (c *LabeledCounter) Add(label string, n int64) {
+	c.mu.Lock()
+	if c.vals == nil {
+		c.vals = make(map[string]int64)
+	}
+	c.vals[label] += n
+	c.mu.Unlock()
+}
+
+// Get returns one label's count.
+func (c *LabeledCounter) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[label]
+}
+
+// Total sums all labels.
+func (c *LabeledCounter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.vals {
+		t += v
+	}
+	return t
+}
+
+// writePrometheus renders the counter with one sample per label, in
+// sorted label order so scrapes are deterministic. The metric is
+// emitted (with its HELP/TYPE header only) even when empty, so
+// dashboards can discover it before the first event.
+func (c *LabeledCounter) writePrometheus(w io.Writer, name, help, labelKey string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.vals))
+	for l := range c.vals {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, labelKey, l, c.vals[l])
+	}
 }
 
 // Gauges are point-in-time values rendered next to the counters.
@@ -123,6 +194,11 @@ func (m *Metrics) WriteCluster(w io.Writer, g ClusterGauges, h *LatencyHist) {
 	counter("sadprouted_cluster_requeues_total", "Jobs re-placed after a worker lease expired.", m.ClusterRequeues.Load())
 	counter("sadprouted_cluster_duplicate_results_total", "Duplicate result uploads accepted as no-ops.", m.ClusterDupResults.Load())
 	counter("sadprouted_cluster_stale_results_total", "Result uploads that arrived under an expired lease.", m.ClusterStaleResults.Load())
+	m.ClusterUploadRejects.writePrometheus(w, "sadprouted_cluster_upload_rejects_total", "Result uploads refused by the coordinator's validator, by reason.", "reason")
+	counter("sadprouted_cluster_worker_quarantines_total", "Workers quarantined for exceeding the upload-rejection budget.", m.ClusterWorkerQuarantines.Load())
+	counter("sadprouted_cluster_hedged_dispatch_total", "Speculative straggler re-dispatches (second lease on a slow job).", m.ClusterHedged.Load())
+	m.ClusterRetryAttempts.writePrometheus(w, "sadprouted_cluster_retry_attempts_total", "Worker-side RPC retries, by RPC.", "rpc")
+	counter("sadprouted_cluster_spool_replays_total", "Result uploads replayed from a worker's durable spool after restart.", m.ClusterSpoolReplays.Load())
 	gauge("sadprouted_cluster_workers", "Workers with a fresh heartbeat.", int64(g.Workers))
 	gauge("sadprouted_cluster_leases_active", "Jobs currently leased to workers.", int64(g.LeasesActive))
 	h.WritePrometheus(w, "sadprouted_cluster_job_seconds")
@@ -172,6 +248,45 @@ func (h *LatencyHist) Observe(worker string, d time.Duration) {
 	s.counts[i]++
 	s.sum += sec
 	s.n++
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]) of all observations across workers, along with the total
+// observation count. The estimate is the upper bound of the bucket the
+// quantile falls in — coarse, but monotone and cheap, which is all the
+// hedging sweeper needs to decide "running far past the median". The
+// +Inf bucket reports the largest finite bound doubled.
+func (h *LatencyHist) Quantile(q float64) (seconds float64, n int64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var agg [len(latencyBuckets) + 1]int64
+	for _, s := range h.byLabel {
+		for i, c := range s.counts {
+			agg[i] += c
+		}
+		n += s.n
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range agg {
+		cum += c
+		if cum >= rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i], n
+			}
+			return 2 * latencyBuckets[len(latencyBuckets)-1], n
+		}
+	}
+	return 2 * latencyBuckets[len(latencyBuckets)-1], n
 }
 
 // WritePrometheus renders every worker's series under the given metric

@@ -10,6 +10,15 @@
 #   3. Coordinator-crash scenario: the coordinator itself is killed -9
 #      while a job is leased, restarted on the same address and
 #      journal; the job must replay and finish identically.
+#   4. Network-chaos sweep: for each preset in CHAOS_PRESETS (latency,
+#      corrupt, slow, spool) the coordinator runs with -verify-uploads
+#      and the worker with -chaos <preset>; corrupted uploads must be
+#      rejected and re-placed, stragglers hedged, spooled results
+#      replayed — always byte-identical to standalone.
+#
+# SCENARIOS selects which fault sections run (the standalone reference
+# always does): any of "kill crash chaos". The CI matrix uses this to
+# run each chaos preset as its own job.
 #
 # Results are compared as jq projections of {wl, vias, dv, uv,
 # solution}: the solution payload is the full routed geometry and is
@@ -25,6 +34,11 @@ WORK=${WORK:-$(mktemp -d /tmp/cluster-e2e.XXXXXX)}
 # process mid-job; the -s siblings are quick fillers that make the
 # re-placement shuffle non-trivial.
 CIRCUITS=${CIRCUITS:-"ecc-s efc-s ctl-s div-s"}
+SCENARIOS=${SCENARIOS:-"kill crash chaos"}
+CHAOS_CIRCUITS=${CHAOS_CIRCUITS:-"ecc-s efc-s ctl-s"}
+CHAOS_PRESETS=${CHAOS_PRESETS:-"latency corrupt slow spool"}
+
+run_scenario() { case " $SCENARIOS " in *" $1 "*) return 0;; *) return 1;; esac; }
 
 echo "== cluster e2e: workdir $WORK"
 # Always rebuild: a stale binary from an earlier checkout silently
@@ -85,6 +99,7 @@ for c in $CIRCUITS; do poll_projection "$ADDR" "${REF_JOB[$c]}" "$WORK/ref.$c.js
 kill -TERM $REF_PID; wait $REF_PID
 
 # ---- 2. Coordinator + 2 workers, one killed mid-run --------------
+if run_scenario kill; then
 echo "== cluster: worker killed -9 mid-run"
 rm -f "$WORK/coord.addr"
 "$BIN" -mode coordinator -addr 127.0.0.1:0 -addr-file "$WORK/coord.addr" \
@@ -121,8 +136,10 @@ for c in $CIRCUITS; do
     || { echo "worker-kill scenario: $c diverged from standalone" >&2; exit 1; }
 done
 echo "   worker-kill scenario byte-identical to standalone"
+fi
 
 # ---- 3. Coordinator killed -9 mid-dispatch, journal replay -------
+if run_scenario crash; then
 echo "== cluster: coordinator killed -9 mid-dispatch"
 rm -f "$WORK/coord2.addr"
 "$BIN" -mode coordinator -addr 127.0.0.1:0 -addr-file "$WORK/coord2.addr" \
@@ -155,4 +172,82 @@ echo "   coordinator-crash scenario byte-identical to standalone"
 
 kill -TERM $WC_PID; wait $WC_PID 2>/dev/null || true
 kill -TERM $COORD_PID; wait $COORD_PID
+fi
+
+# ---- 4. Network-chaos sweep --------------------------------------
+chaos_run() { # $1=preset
+  local preset=$1
+  echo "== chaos preset: $preset (verified uploads on)"
+  rm -f "$WORK/chaos.addr"
+  local coord_flags=(-mode coordinator -addr 127.0.0.1:0 -addr-file "$WORK/chaos.addr"
+    -data-dir "$WORK/chaos-$preset-data" -lease-ttl 2s -max-attempts 4 -verify-uploads -quiet)
+  if [ "$preset" = slow ]; then
+    coord_flags+=(-hedge-multiple 4 -hedge-min-samples 2)
+  fi
+  "$BIN" "${coord_flags[@]}" > "$WORK/chaos-$preset-coord.log" 2>&1 &
+  local coord_pid=$!; PIDS+=("$coord_pid")
+  local addr; addr=$(wait_addr "$WORK/chaos.addr")
+
+  local worker_flags=(-mode worker -coordinator-addr "http://$addr" -worker-id cw1 -workers 1
+    -chaos "$preset" -chaos-seed 11 -quiet)
+  if [ "$preset" = spool ]; then
+    worker_flags+=(-spool-dir "$WORK/chaos-$preset-spool")
+  fi
+  "$BIN" "${worker_flags[@]}" > "$WORK/chaos-$preset-w1.log" 2>&1 &
+  local w1_pid=$!; PIDS+=("$w1_pid")
+  local w2_pid=""
+  if [ "$preset" = slow ]; then
+    # The hedge needs a healthy peer to land on.
+    "$BIN" -mode worker -coordinator-addr "http://$addr" -worker-id cw2 -workers 2 -quiet \
+      > "$WORK/chaos-$preset-w2.log" 2>&1 &
+    w2_pid=$!; PIDS+=("$w2_pid")
+  fi
+
+  local -A JOB
+  local c
+  for c in $CHAOS_CIRCUITS; do JOB[$c]=$(submit "$addr" "$c"); done
+
+  if [ "$preset" = spool ]; then
+    # The chaos site kills the worker right after it spools its first
+    # result; restart it (same identity, same spool) and let the
+    # replay confirm the result without recomputing.
+    wait "$w1_pid" 2>/dev/null || true
+    echo "   worker cw1 died post-spool, restarting for replay"
+    "$BIN" -mode worker -coordinator-addr "http://$addr" -worker-id cw1 -workers 1 \
+      -spool-dir "$WORK/chaos-$preset-spool" -quiet > "$WORK/chaos-$preset-w1b.log" 2>&1 &
+    w1_pid=$!; PIDS+=("$w1_pid")
+  fi
+
+  for c in $CHAOS_CIRCUITS; do
+    poll_projection "$addr" "${JOB[$c]}" "$WORK/chaos-$preset.$c.json"
+    diff "$WORK/ref.$c.json" "$WORK/chaos-$preset.$c.json" \
+      || { echo "chaos $preset: $c diverged from standalone" >&2; exit 1; }
+  done
+  local completed
+  completed=$(curl -sf "http://$addr/metrics" | awk '/^sadprouted_jobs_completed_total /{print $2}')
+  [ "$completed" = "$(echo $CHAOS_CIRCUITS | wc -w)" ] \
+    || { echo "chaos $preset: completed=$completed, want $(echo $CHAOS_CIRCUITS | wc -w)" >&2; exit 1; }
+  if [ "$preset" = corrupt ]; then
+    # Both wire flips must have forced a re-placement (validator
+    # reject or dropped envelope + lease expiry — either way the job
+    # was re-placed, never stored corrupted).
+    curl -sf "http://$addr/metrics" | grep -E '^sadprouted_cluster_requeues_total [1-9]' > /dev/null \
+      || { echo "chaos $preset: corrupted uploads never forced a re-placement" >&2; exit 1; }
+  fi
+  if [ "$preset" = spool ]; then
+    curl -sf "http://$addr/metrics" | grep -E '^sadprouted_cluster_spool_replays_total [1-9]' > /dev/null \
+      || { echo "chaos $preset: no spool replay recorded" >&2; exit 1; }
+  fi
+  kill -TERM "$w1_pid" 2>/dev/null || true; wait "$w1_pid" 2>/dev/null || true
+  if [ -n "$w2_pid" ]; then
+    kill -TERM "$w2_pid" 2>/dev/null || true; wait "$w2_pid" 2>/dev/null || true
+  fi
+  kill -TERM "$coord_pid"; wait "$coord_pid"
+  echo "   chaos $preset byte-identical to standalone"
+}
+
+if run_scenario chaos; then
+  for preset in $CHAOS_PRESETS; do chaos_run "$preset"; done
+fi
+
 echo "== cluster e2e OK"
