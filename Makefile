@@ -22,11 +22,29 @@ fmt:
 
 # sadplint is the repo's own analyzer suite (internal/analyzers),
 # driven through the stock `go vet -vettool` protocol so suppressions,
-# build tags and test variants behave exactly as in CI.
+# build tags and test variants behave exactly as in CI, then once more
+# standalone against the committed baseline (empty at merge; findings
+# accepted during a migration go there via `make sadplint-baseline`).
 sadplint:
 	@mkdir -p bin
 	$(GO) build -o bin/sadplint ./cmd/sadplint
 	$(GO) vet -vettool=bin/sadplint ./...
+	bin/sadplint -baseline .sadplint-baseline.json ./...
+
+# Machine-readable findings, e.g. for editor integration:
+#   make sadplint-json > findings.json
+.PHONY: sadplint-json sadplint-baseline
+sadplint-json:
+	@mkdir -p bin
+	@$(GO) build -o bin/sadplint ./cmd/sadplint
+	@bin/sadplint -json ./...
+
+# Re-record the accepted-debt baseline. The merge bar is an empty
+# baseline: only use this mid-migration, and burn it back down.
+sadplint-baseline:
+	@mkdir -p bin
+	$(GO) build -o bin/sadplint ./cmd/sadplint
+	bin/sadplint -baseline .sadplint-baseline.json -update-baseline ./...
 
 lint: sadplint
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

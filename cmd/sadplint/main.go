@@ -29,6 +29,9 @@ func main() {
 	flagV := flag.String("V", "", "print version and exit (go vet protocol; use -V=full)")
 	flagFlags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	flagList := flag.Bool("list", false, "list the analyzers and exit")
+	flagJSON := flag.Bool("json", false, "standalone mode: print diagnostics as a JSON array")
+	flagBaseline := flag.String("baseline", "", "standalone mode: subtract the diagnostics recorded in this file")
+	flagUpdate := flag.Bool("update-baseline", false, "standalone mode: rewrite -baseline with the current diagnostics and exit 0")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sadplint [packages]   (standalone, e.g. sadplint ./...)\n")
 		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v sadplint) ./...\n\nanalyzers:\n")
@@ -61,7 +64,7 @@ func main() {
 		runUnit(args[0])
 		return
 	}
-	runStandalone(args)
+	runStandalone(args, *flagJSON, *flagBaseline, *flagUpdate)
 }
 
 // runUnit is one `go vet` compilation unit.
@@ -82,7 +85,11 @@ func runUnit(cfg string) {
 }
 
 // runStandalone loads whole packages from source.
-func runStandalone(patterns []string) {
+func runStandalone(patterns []string, asJSON bool, baselinePath string, updateBaseline bool) {
+	if updateBaseline && baselinePath == "" {
+		fmt.Fprintf(os.Stderr, "sadplint: -update-baseline requires -baseline <file>\n")
+		os.Exit(2)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -101,8 +108,33 @@ func runStandalone(patterns []string) {
 		fmt.Fprintf(os.Stderr, "sadplint: %v\n", err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	if updateBaseline {
+		if err := lint.WriteBaseline(baselinePath, diags, wd); err != nil {
+			fmt.Fprintf(os.Stderr, "sadplint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sadplint: wrote %d diagnostics to %s\n", len(diags), baselinePath)
+		return
+	}
+	if baselinePath != "" {
+		base, err := lint.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sadplint: %v\n", err)
+			os.Exit(1)
+		}
+		diags = base.Filter(diags, wd)
+	}
+	if asJSON {
+		data, err := lint.DiagnosticsJSON(diags, wd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sadplint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -1,0 +1,12 @@
+package arenaesc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/arenaesc"
+	"repro/internal/analyzers/lint/linttest"
+)
+
+func TestArenaesc(t *testing.T) {
+	linttest.Run(t, "testdata/arena", "example.org/arenafixture", arenaesc.Analyzer)
+}

@@ -1,0 +1,125 @@
+// Package arenafixture exercises the arenaesc analyzer: an Owner
+// recycles a scratch buffer the way router.Arena recycles routes, and
+// the functions below return, store, send, capture and reuse it in
+// every way the analyzer must (and must not) flag.
+package arenafixture
+
+// Owner recycles buf between calls.
+type Owner struct {
+	buf  []int
+	keep []int
+}
+
+// scratch returns the recycled buffer.
+//
+//sadplint:scratch the result aliases buf, valid until the next call or Reset
+func (o *Owner) scratch() []int {
+	o.buf = o.buf[:0]
+	return o.buf
+}
+
+// Reset invalidates everything scratch has handed out.
+func (o *Owner) Reset() {
+	o.buf = o.buf[:0]
+}
+
+func use(x []int) int { return len(x) }
+
+// --- escapes (flagged) ---
+
+func returnEscape(o *Owner) []int {
+	s := o.scratch()
+	return s // want "returns arena-backed scratch"
+}
+
+func sliceEscape(o *Owner) []int {
+	s := o.scratch()
+	return s[:0] // want "returns arena-backed scratch"
+}
+
+func directReturnEscape(o *Owner) []int {
+	return o.scratch() // want "returns arena-backed scratch"
+}
+
+func storeEscape(o *Owner) {
+	s := o.scratch()
+	o.keep = s // want "stores arena-backed scratch"
+}
+
+func mapStoreEscape(o *Owner, sink map[string][]int) {
+	s := o.scratch()
+	sink["k"] = s // want "stores arena-backed scratch"
+}
+
+func sendEscape(o *Owner, ch chan []int) {
+	s := o.scratch()
+	ch <- s // want "sends arena-backed scratch"
+}
+
+func goArgEscape(o *Owner) {
+	s := o.scratch()
+	go use(s) // want "passes arena-backed scratch"
+}
+
+func goCaptureEscape(o *Owner) {
+	s := o.scratch()
+	go func() {
+		use(s) // want "goroutine captures arena-backed scratch"
+	}()
+}
+
+// --- staleness (flagged) ---
+
+func staleAfterReset(o *Owner) int {
+	s := o.scratch()
+	o.Reset()
+	return use(s) // want "uses s after its owner's scratch was reset"
+}
+
+func staleAfterRepeatCall(o *Owner) int {
+	a := o.scratch()
+	b := o.scratch()
+	use(b)
+	return use(a) // want "uses a after its owner's scratch was reset"
+}
+
+func staleOnOnePath(o *Owner, cond bool) int {
+	s := o.scratch()
+	if cond {
+		o.Reset()
+	}
+	return use(s) // want "uses s after its owner's scratch was reset"
+}
+
+// --- sanctioned (clean) ---
+
+// forwardOK forwards scratch but is itself marked scratch.
+//
+//sadplint:scratch passes the owner's buffer through
+func forwardOK(o *Owner) []int {
+	return o.scratch()
+}
+
+func lenOnlyOK(o *Owner) int {
+	s := o.scratch()
+	return use(s) // using before any reset is fine
+}
+
+func copyOutOK(o *Owner) []int {
+	var out []int
+	out = append(out, o.scratch()...) // append copies the elements
+	return out
+}
+
+func useBeforeResetOK(o *Owner) int {
+	s := o.scratch()
+	n := use(s)
+	o.Reset()
+	return n
+}
+
+func suppressedEscape(o *Owner) []int {
+	s := o.scratch()
+	//sadplint:ignore arenaesc fixture demonstrates a justified suppression
+	return s
+}

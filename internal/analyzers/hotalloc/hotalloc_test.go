@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/hotalloc"
+	"repro/internal/analyzers/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "testdata/hot", "example.org/hotfixture", hotalloc.Analyzer)
+}

@@ -1,0 +1,98 @@
+// Package hotfixture exercises the hotalloc analyzer: each hotX
+// function is marked //sadplint:hotpath and trips exactly one
+// allocation pattern; coldPath repeats them unmarked and stays clean.
+package hotfixture
+
+import "fmt"
+
+// S is a plain value struct; S{} literals do not allocate.
+type S struct{ X, Y int }
+
+func sink(v interface{})    {}
+func sinkInts(s []int)      {}
+func sinkStr(s string)      {}
+func cleanup()              {}
+func sinkPtr(p *S)          {}
+func sinkMap(m map[int]int) {}
+
+//sadplint:hotpath fixture: composite literals per iteration
+func hotComposite(n int) {
+	for i := 0; i < n; i++ {
+		sinkInts([]int{i})     // want "composite literal allocates per iteration"
+		sinkMap(map[int]int{}) // want "composite literal allocates per iteration"
+		sinkPtr(&S{X: i})      // want "composite literal allocates per iteration"
+		s := S{X: i}           // struct value: no heap allocation
+		_ = s
+	}
+}
+
+//sadplint:hotpath fixture: growing append
+func hotAppend(n int) []int {
+	var grow []int
+	pre := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		grow = append(grow, i) // want "grows per iteration"
+		pre = append(pre, i)   // preallocated: clean
+	}
+	_ = grow
+	return pre
+}
+
+//sadplint:hotpath fixture: closure allocation
+func hotClosure(n int) {
+	f := func() int { return n } // want "closure allocates"
+	_ = f()
+}
+
+//sadplint:hotpath fixture: interface boxing
+func hotBox(n int) {
+	sink(n) // want "boxes a concrete value into an interface"
+	if n < 0 {
+		panic("negative") // builtin: clean
+	}
+}
+
+//sadplint:hotpath fixture: fmt in the hot loop
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+}
+
+//sadplint:hotpath fixture: string concatenation
+func hotConcat(a, b string) string {
+	const prefix = "id-"
+	_ = prefix + "suffix" // constant folding: clean
+	return a + b          // want "string concatenation allocates"
+}
+
+//sadplint:hotpath fixture: defer inside the loop
+func hotDefer(n int) {
+	for i := 0; i < n; i++ {
+		defer cleanup() // want "defer"
+	}
+}
+
+//sadplint:hotpath fixture: suppression must silence the finding
+func hotSuppressed(n int) {
+	//sadplint:ignore hotalloc fixture demonstrates a justified suppression
+	sink(n)
+}
+
+// coldPath repeats every pattern above without the hotpath directive;
+// none of it may be flagged.
+func coldPath(n int, a, b string) {
+	for i := 0; i < n; i++ {
+		sinkInts([]int{i})
+		sinkPtr(&S{X: i})
+		defer cleanup()
+	}
+	var grow []int
+	for i := 0; i < n; i++ {
+		grow = append(grow, i)
+	}
+	_ = grow
+	f := func() int { return n }
+	_ = f()
+	sink(n)
+	sinkStr(fmt.Sprintf("%d", n))
+	sinkStr(a + b)
+}

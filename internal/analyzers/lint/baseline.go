@@ -1,0 +1,136 @@
+package lint
+
+// Machine-readable diagnostics and the baseline mechanism: `sadplint
+// -json` emits diagnostics as JSON for CI artifacts, and `-baseline
+// <file>` subtracts a committed debt file so a new analyzer can land
+// (and gate new findings) before every pre-existing finding is fixed.
+//
+// Baseline entries match on (file, analyzer, message) with
+// multiplicity — deliberately not on line numbers, so edits elsewhere
+// in a file do not invalidate the baseline. The repo's own baseline
+// is empty; the mechanism exists for future analyzers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// JSONDiagnostic is the wire form of one diagnostic.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+// toJSON converts a diagnostic, making the filename relative to
+// baseDir when possible (baselines and CI artifacts must not embed
+// absolute checkout paths).
+func toJSON(d Diagnostic, baseDir string) JSONDiagnostic {
+	file := d.Pos.Filename
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, file); err == nil && !filepath.IsAbs(rel) {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return JSONDiagnostic{
+		File:     file,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+		Analyzer: d.Analyzer,
+	}
+}
+
+// DiagnosticsJSON renders diagnostics as an indented JSON array (an
+// empty slice renders as [], never null).
+func DiagnosticsJSON(diags []Diagnostic, baseDir string) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, toJSON(d, baseDir))
+	}
+	return json.MarshalIndent(out, "", "\t")
+}
+
+// A Baseline is accepted debt: diagnostics that do not fail the run.
+type Baseline struct {
+	entries map[string]int // (file, analyzer, message) key → multiplicity
+}
+
+func baselineKey(j JSONDiagnostic) string {
+	return j.File + "\x00" + j.Analyzer + "\x00" + j.Message
+}
+
+// LoadBaseline reads a baseline file (a JSON array of diagnostics,
+// line/col ignored). A missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: map[string]int{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var list []JSONDiagnostic
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	for _, j := range list {
+		b.entries[baselineKey(j)]++
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline,
+// consuming multiplicity: a baseline entry recorded twice absorbs at
+// most two matching diagnostics.
+func (b *Baseline) Filter(diags []Diagnostic, baseDir string) []Diagnostic {
+	if b == nil || len(b.entries) == 0 {
+		return diags
+	}
+	remaining := make(map[string]int, len(b.entries))
+	for k, n := range b.entries {
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(toJSON(d, baseDir))
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline records the given diagnostics as the new accepted
+// debt, sorted for stable diffs.
+func WriteBaseline(path string, diags []Diagnostic, baseDir string) error {
+	list := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		j := toJSON(d, baseDir)
+		j.Line, j.Col = 0, 0 // line-insensitive by design
+		list = append(list, j)
+	}
+	sort.Slice(list, func(i, k int) bool {
+		a, b := list[i], list[k]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(list, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

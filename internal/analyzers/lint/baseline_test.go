@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func fakeDiags(dir string) []Diagnostic {
+	return []Diagnostic{
+		{Pos: token.Position{Filename: filepath.Join(dir, "a.go"), Line: 10, Column: 2}, Message: "first finding", Analyzer: "hotalloc"},
+		{Pos: token.Position{Filename: filepath.Join(dir, "a.go"), Line: 20, Column: 2}, Message: "first finding", Analyzer: "hotalloc"},
+		{Pos: token.Position{Filename: filepath.Join(dir, "b.go"), Line: 3, Column: 1}, Message: "second finding", Analyzer: "lockorder"},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	diags := fakeDiags(dir)
+	path := filepath.Join(dir, "baseline.json")
+	if err := WriteBaseline(path, diags, dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left := b.Filter(diags, dir); len(left) != 0 {
+		t.Errorf("baseline written from these diagnostics should swallow all of them, %d left: %v", len(left), left)
+	}
+}
+
+func TestBaselineMultiplicityAndNewFindings(t *testing.T) {
+	dir := t.TempDir()
+	diags := fakeDiags(dir)
+	path := filepath.Join(dir, "baseline.json")
+	// Baseline only the first occurrence of the duplicated finding.
+	if err := WriteBaseline(path, diags[:1], dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := b.Filter(diags, dir)
+	if len(left) != 2 {
+		t.Fatalf("want the extra duplicate and the new lockorder finding to survive, got %v", left)
+	}
+	// Line moves must not defeat the baseline: the key ignores line/col.
+	moved := []Diagnostic{{
+		Pos: token.Position{Filename: filepath.Join(dir, "a.go"), Line: 99, Column: 7}, Message: "first finding", Analyzer: "hotalloc",
+	}}
+	if left := b.Filter(moved, dir); len(left) != 0 {
+		t.Errorf("baseline keyed on line number; moved finding survived: %v", left)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if left := b.Filter(fakeDiags(dir), dir); len(left) != 3 {
+		t.Errorf("empty baseline must pass every diagnostic through, got %d of 3", len(left))
+	}
+}

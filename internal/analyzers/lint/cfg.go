@@ -1,0 +1,445 @@
+package lint
+
+// A per-function control-flow graph over raw AST statements. The
+// real golang.org/x/tools/go/cfg cannot be vendored here (the image
+// carries no module cache), so this is a from-scratch builder with the
+// shape the repo's flow-sensitive analyzers need: basic blocks of
+// non-control statements (plus the condition/tag expressions evaluated
+// on the way), explicit loop back-edges, break/continue/goto/
+// fallthrough resolution including labels, and a single exit block
+// that carries the function's deferred calls in LIFO order so a
+// dataflow client sees them run last.
+//
+// Granularity: Block.Nodes holds ast.Node values that are either
+// whole non-control statements (assignments, sends, returns, ...) or
+// bare expressions (an if condition, a switch tag, a range operand).
+// Control statements themselves never appear as nodes — their
+// structure is the graph.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: straight-line nodes and the successor
+// edges out of it.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Kind labels why the block exists, for tests and debugging
+	// ("entry", "exit", "for.header", "if.then", ...).
+	Kind string
+}
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is
+// the entry; Exit is the unique exit block every return, panic and the
+// final fall-through reach. Deferred calls appear as the Exit block's
+// nodes, last deferred first.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// Reachable reports whether blk is reachable from the entry block.
+func (g *CFG) Reachable(blk *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Blocks[0]}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == blk {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// frame is one enclosing breakable construct. Loops also catch
+// continue.
+type frame struct {
+	breakB    *Block
+	continueB *Block // nil for switch/select frames
+	label     string
+}
+
+// cfgBuilder threads the "current block" through a recursive walk of
+// the statement tree.
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block
+	frames []frame
+	labels map[string]*labelTarget
+	// pendingLabel names the label attached to the next loop/switch so
+	// `break L` / `continue L` resolve to it.
+	pendingLabel string
+	// fallNext is the next case body, the target of `fallthrough`.
+	fallNext *Block
+	defers   []*ast.DeferStmt
+}
+
+type labelTarget struct {
+	entry     *Block // where `goto L` lands
+	breakB    *Block
+	continueB *Block
+}
+
+// BuildCFG constructs the CFG of a function body. It never returns
+// nil: an empty body yields entry→exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g, labels: map[string]*labelTarget{}}
+	entry := b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmts(body.List)
+	b.jump(g.Exit) // fall off the end of the body
+	// Deferred calls run on every path out, last deferred first: they
+	// belong to the exit block.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		g.Exit.Nodes = append(g.Exit.Nodes, b.defers[i].Call)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur→to (when cur is still live) and kills cur.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil && to != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+	b.cur = nil
+}
+
+// emit appends a straight-line node to the current block, reviving a
+// dead current block into an unreachable one so clients still see the
+// nodes (and tests can assert unreachability).
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startBlock begins a new block reachable from the current one.
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		after := b.newBlock("if.after")
+		b.cur = cond
+		b.startBlock("if.then")
+		b.stmt(s.Body)
+		b.jump(after)
+		b.cur = cond
+		if s.Else != nil {
+			b.startBlock("if.else")
+			b.stmt(s.Else)
+			b.jump(after)
+		} else if cond != nil {
+			cond.Succs = append(cond.Succs, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.startBlock("for.header")
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		condEnd := b.cur // emit may not split, but keep the handle
+		after := b.newBlock("for.after")
+		post := b.newBlock("for.post")
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		post.Succs = append(post.Succs, header) // loop back edge
+		if s.Cond != nil {
+			condEnd.Succs = append(condEnd.Succs, after)
+		}
+		b.pushFrame(frame{breakB: after, continueB: post, label: label})
+		b.cur = condEnd
+		b.startBlock("for.body")
+		b.stmt(s.Body)
+		b.jump(post)
+		b.popFrame()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.emit(s.X)
+		header := b.startBlock("range.header")
+		// The per-iteration key/value binding happens in the header.
+		if s.Key != nil || s.Value != nil {
+			header.Nodes = append(header.Nodes, s)
+		}
+		after := b.newBlock("range.after")
+		header.Succs = append(header.Succs, after)
+		b.pushFrame(frame{breakB: after, continueB: header, label: label})
+		b.cur = header
+		b.startBlock("range.body")
+		b.stmt(s.Body)
+		b.jump(header) // loop back edge
+		b.popFrame()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchClauses(s.Body, nil, label)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchClauses(s.Body, s.Assign, label)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock("select.after")
+		b.pushFrame(frame{breakB: after, label: label})
+		any := false
+		for _, cc := range s.Body.List {
+			cl, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			any = true
+			b.cur = head
+			b.startBlock("select.case")
+			if cl.Comm != nil {
+				b.stmt(cl.Comm)
+			}
+			b.stmts(cl.Body)
+			b.jump(after)
+		}
+		b.popFrame()
+		if !any {
+			// An empty select blocks forever.
+			b.cur = nil
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		entry := b.startBlock("label." + name)
+		lt := b.labels[name]
+		if lt == nil {
+			lt = &labelTarget{}
+			b.labels[name] = lt
+		}
+		if lt.entry != nil {
+			// A forward goto already materialized a placeholder target:
+			// chain it onto the real entry.
+			lt.entry.Succs = append(lt.entry.Succs, entry)
+		}
+		lt.entry = entry
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.jump(b.breakTarget(s.Label))
+		case token.CONTINUE:
+			b.jump(b.continueTarget(s.Label))
+		case token.GOTO:
+			name := s.Label.Name
+			lt := b.labels[name]
+			if lt == nil {
+				lt = &labelTarget{}
+				b.labels[name] = lt
+			}
+			if lt.entry == nil {
+				// Forward goto: placeholder the labeled statement chains
+				// onto when reached.
+				lt.entry = b.newBlock("label." + name + ".fwd")
+			}
+			b.jump(lt.entry)
+		case token.FALLTHROUGH:
+			b.jump(b.fallNext) // nil-safe: jump kills cur either way
+		}
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		// The call expression and its arguments are evaluated here; the
+		// call itself runs at exit (recorded in the exit block).
+		b.defers = append(b.defers, s)
+		b.emit(s)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanic(s.X) {
+			b.jump(b.g.Exit) // panic leaves through the defers
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Go, Send, Assign, IncDec, Decl and anything future: straight
+		// line.
+		b.emit(s)
+	}
+}
+
+// switchClauses builds the shared clause structure of switch and type
+// switch. assign is the type switch's `x := y.(type)` statement.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, assign ast.Stmt, label string) {
+	if assign != nil {
+		b.stmt(assign)
+	}
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.pushFrame(frame{breakB: after, label: label})
+	var clauses []*ast.CaseClause
+	for _, cc := range body.List {
+		if cl, ok := cc.(*ast.CaseClause); ok {
+			clauses = append(clauses, cl)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		if cl.List == nil {
+			hasDefault = true
+		}
+		b.cur = head
+		blk := b.startBlock("switch.case")
+		for _, e := range cl.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		bodies[i] = blk
+	}
+	savedFall := b.fallNext
+	for i, cl := range clauses {
+		b.cur = bodies[i]
+		if i+1 < len(clauses) {
+			b.fallNext = bodies[i+1]
+		} else {
+			b.fallNext = nil
+		}
+		b.stmts(cl.Body)
+		b.jump(after)
+	}
+	b.fallNext = savedFall
+	if !hasDefault && head != nil {
+		head.Succs = append(head.Succs, after)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// takeLabel consumes the pending label (set by an enclosing
+// LabeledStmt) for the loop/switch being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushFrame(f frame) {
+	b.frames = append(b.frames, f)
+	if f.label != "" {
+		lt := b.labels[f.label]
+		if lt == nil {
+			lt = &labelTarget{}
+			b.labels[f.label] = lt
+		}
+		lt.breakB, lt.continueB = f.breakB, f.continueB
+	}
+}
+
+func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// breakTarget resolves break (labeled or not). Malformed labels — code
+// the type checker would reject — resolve to the exit block so the
+// builder never crashes.
+func (b *cfgBuilder) breakTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if lt := b.labels[label.Name]; lt != nil && lt.breakB != nil {
+			return lt.breakB
+		}
+		return b.g.Exit
+	}
+	if n := len(b.frames); n > 0 {
+		return b.frames[n-1].breakB
+	}
+	return b.g.Exit
+}
+
+func (b *cfgBuilder) continueTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if lt := b.labels[label.Name]; lt != nil && lt.continueB != nil {
+			return lt.continueB
+		}
+		return b.g.Exit
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].continueB != nil {
+			return b.frames[i].continueB
+		}
+	}
+	return b.g.Exit
+}

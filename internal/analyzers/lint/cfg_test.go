@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a single function body out of src, which must be a
+// complete file declaring exactly one function.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil
+}
+
+func blockByKind(g *CFG, kind string) *Block {
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		x++
+	}
+	_ = x
+}`))
+	post := blockByKind(g, "for.post")
+	if post == nil {
+		t.Fatal("no for.post block")
+	}
+	header := blockByKind(g, "for.header")
+	if header == nil {
+		t.Fatal("no for.header block")
+	}
+	found := false
+	for _, s := range post.Succs {
+		if s == header {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("for.post lacks the back edge to for.header; succs = %v", kinds(post.Succs))
+	}
+	body := blockByKind(g, "for.body")
+	if body == nil || !g.Reachable(body) {
+		t.Error("loop body missing or unreachable")
+	}
+	// The header must branch both into the body and past the loop.
+	wantSuccs := map[string]bool{}
+	for _, s := range header.Succs {
+		wantSuccs[s.Kind] = true
+	}
+	if !wantSuccs["for.body"] || !wantSuccs["for.after"] {
+		t.Errorf("for.header succs = %v, want both for.body and for.after", kinds(header.Succs))
+	}
+}
+
+func kinds(bs []*Block) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Kind
+	}
+	return out
+}
+
+func TestCFGDeferLIFO(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	defer first()
+	defer second()
+	work()
+}`))
+	var names []string
+	for _, n := range g.Exit.Nodes {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			t.Fatalf("exit node is %T, want *ast.CallExpr", n)
+		}
+		names = append(names, call.Fun.(*ast.Ident).Name)
+	}
+	if fmt.Sprint(names) != "[second first]" {
+		t.Errorf("exit defers = %v, want [second first] (LIFO)", names)
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() int {
+	return 1
+	println("dead")
+}`))
+	dead := blockByKind(g, "unreachable")
+	if dead == nil {
+		t.Fatal("no unreachable block for code after return")
+	}
+	if g.Reachable(dead) {
+		t.Error("block after return reported reachable")
+	}
+	if len(dead.Nodes) != 1 {
+		t.Errorf("unreachable block has %d nodes, want the dead println only", len(dead.Nodes))
+	}
+	if !g.Reachable(g.Exit) {
+		t.Error("exit block must stay reachable through the return")
+	}
+}
+
+// TestForwardFixpoint runs a set-union analysis over a loop: the state
+// collects the source text of every ident assigned so far. The block
+// after the loop must see the loop body's writes (the back edge forces
+// a second pass over the header), and the unreachable tail must keep
+// the zero state.
+func TestForwardFixpoint(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(n int) {
+	a := 0
+	for i := 0; i < n; i++ {
+		b := i
+		_ = b
+	}
+	c := a
+	_ = c
+}`))
+	flow := Flow[map[string]bool]{
+		Entry: map[string]bool{},
+		Copy: func(s map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+		Join: func(dst, src map[string]bool) bool {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, _ *Block, s map[string]bool) {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						s[id.Name] = true
+					}
+				}
+			}
+		},
+	}
+	in := Forward(g, flow)
+
+	header := blockByKind(g, "for.header")
+	if header == nil {
+		t.Fatal("no for.header block")
+	}
+	hin := in[header.Index]
+	// The header's input joins the preheader (a, i) with the back edge
+	// (which also carries b): the fixpoint must include b.
+	for _, want := range []string{"a", "i", "b"} {
+		if !hin[want] {
+			t.Errorf("for.header input missing %q after fixpoint: %v", want, hin)
+		}
+	}
+	after := blockByKind(g, "for.after")
+	if after == nil {
+		t.Fatal("no for.after block")
+	}
+	if ain := in[after.Index]; !ain["a"] || !ain["b"] {
+		t.Errorf("for.after input = %v, want a and b visible", ain)
+	}
+}
+
+func TestForwardUnreachableGetsZeroState(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	x := 1
+	_ = x
+	return
+	println("dead")
+}`))
+	flow := Flow[map[string]bool]{
+		Entry: map[string]bool{"live": true},
+		Copy: func(s map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+		Join:     func(dst, src map[string]bool) bool { return false },
+		Transfer: func(ast.Node, *Block, map[string]bool) {},
+	}
+	in := Forward(g, flow)
+	dead := blockByKind(g, "unreachable")
+	if dead == nil {
+		t.Fatal("no unreachable block")
+	}
+	if in[dead.Index] != nil {
+		t.Errorf("unreachable block got state %v, want nil zero value", in[dead.Index])
+	}
+	if in[g.Exit.Index] == nil {
+		t.Error("exit block should have been reached")
+	}
+}

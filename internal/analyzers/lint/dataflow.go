@@ -1,0 +1,81 @@
+package lint
+
+// A small forward dataflow engine over the CFG: a classic worklist
+// iteration to a fixpoint. States are client-defined; the engine only
+// needs copy/join/equal and a per-node transfer function. Blocks are
+// processed in index order (the builder numbers them roughly in
+// source order), which makes the iteration — and therefore the order
+// in which clients first observe each program point — deterministic.
+
+import "go/ast"
+
+// Flow defines one forward dataflow problem over states of type S.
+type Flow[S any] struct {
+	// Entry is the state at the function entry.
+	Entry S
+	// Copy returns an independent copy of a state.
+	Copy func(S) S
+	// Join merges src into dst and reports whether dst changed. dst is
+	// always a state the engine owns (never aliased by the client).
+	Join func(dst, src S) bool
+	// Transfer applies one straight-line node to the state in place,
+	// with the block it lives in (so clients can special-case, e.g.,
+	// the exit block's deferred calls). Nodes are visited in block
+	// order; the state passed in is owned by the engine and may be
+	// mutated freely.
+	Transfer func(n ast.Node, blk *Block, s S)
+}
+
+// Forward runs the analysis to a fixpoint and returns the input state
+// of every block (indexed like g.Blocks). A nil entry in the result
+// marks a block never reached by the iteration (unreachable code).
+func Forward[S any](g *CFG, f Flow[S]) []S {
+	n := len(g.Blocks)
+	in := make([]S, n)
+	have := make([]bool, n)
+	in[0] = f.Copy(f.Entry)
+	have[0] = true
+
+	work := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+	for len(work) > 0 {
+		// Pop the lowest index for determinism: the slice is kept
+		// sorted by insertion below (small graphs — linear insert).
+		bi := work[0]
+		work = work[1:]
+		queued[bi] = false
+		blk := g.Blocks[bi]
+		s := f.Copy(in[bi])
+		for _, nd := range blk.Nodes {
+			f.Transfer(nd, blk, s)
+		}
+		for _, succ := range blk.Succs {
+			si := succ.Index
+			changed := false
+			if !have[si] {
+				in[si] = f.Copy(s)
+				have[si] = true
+				changed = true
+			} else if f.Join(in[si], s) {
+				changed = true
+			}
+			if changed && !queued[si] {
+				queued[si] = true
+				work = insertSorted(work, si)
+			}
+		}
+	}
+	return in
+}
+
+func insertSorted(w []int, v int) []int {
+	i := 0
+	for i < len(w) && w[i] < v {
+		i++
+	}
+	w = append(w, 0)
+	copy(w[i+1:], w[i:])
+	w[i] = v
+	return w
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+func TestMalformedScratchAndHotpathAreReported(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//sadplint:scratch
+func Scratchy() {}
+
+//sadplint:hotpath
+func Hot() {}
+
+//sadplint:scratch result aliases the pool
+func FineScratch() {}
+
+//sadplint:hotpath inner loop of the solver
+func FineHot() {}
+`)
+	tpkg, info, err := Check("example.org/p", fset, []*ast.File{f}, ExportImporter(fset, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := &Analyzer{Name: "noop", Doc: "does nothing", Run: func(*Pass) error { return nil }}
+	diags, err := RunAnalyzers([]*Package{{
+		PkgPath: "example.org/p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info,
+	}}, []*Analyzer{noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics for the two reasonless directives, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "sadplint" {
+			t.Errorf("malformed directive attributed to %q, want sadplint", d.Analyzer)
+		}
+		if !strings.Contains(d.Message, "malformed //sadplint:") {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+}
+
+func TestFuncDirective(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+// Hot is documented.
+//
+//sadplint:hotpath called per grid node
+func Hot() {}
+
+// Cold has no directive.
+func Cold() {}
+`)
+	dirs := Directives(fset, f)
+	var hot, cold *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			switch fd.Name.Name {
+			case "Hot":
+				hot = fd
+			case "Cold":
+				cold = fd
+			}
+		}
+	}
+	d, ok := FuncDirective(fset, dirs, hot, "hotpath")
+	if !ok || d.Reason != "called per grid node" {
+		t.Errorf("FuncDirective(Hot) = %+v, %v; want the hotpath directive with its reason", d, ok)
+	}
+	if d, ok := FuncDirective(fset, dirs, cold, "hotpath"); ok {
+		t.Errorf("FuncDirective(Cold) = %+v, want none", d)
+	}
+	if d, ok := FuncDirective(fset, dirs, hot, "scratch"); ok {
+		t.Errorf("FuncDirective(Hot, scratch) = %+v, want none (verb mismatch)", d)
+	}
+}

@@ -35,6 +35,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts carries cross-package analyzer facts: dependencies'
+	// exports are readable (FactOf), this package's are written
+	// through ExportFact. See facts.go.
+	Facts *FactStore
 
 	diags *[]Diagnostic
 }
@@ -123,9 +127,21 @@ type Directive struct {
 //	//sadplint:ignore <analyzer> <reason...>   suppress that analyzer
 //	//sadplint:ordered <reason...>             assert a map range is
 //	                                           deliberately unordered
+//	//sadplint:scratch <reason...>             the function's returned
+//	                                           slices/pointers alias
+//	                                           owner-recycled scratch,
+//	                                           valid only until the
+//	                                           owner's next use/Reset
+//	//sadplint:hotpath <reason...>             the function is on a
+//	                                           measured hot path; the
+//	                                           hotalloc analyzer bans
+//	                                           allocation constructs
+//	                                           inside it
 //
-// A directive applies to its own source line, or — when the comment
-// stands alone — to the next line.
+// A suppression directive applies to its own source line, or — when
+// the comment stands alone — to the next line. scratch and hotpath
+// attach to the function declaration they precede (anywhere in its
+// doc comment). All reasons are mandatory.
 func Directives(fset *token.FileSet, f *ast.File) []Directive {
 	var out []Directive
 	for _, cg := range f.Comments {
@@ -149,7 +165,7 @@ func Directives(fset *token.FileSet, f *ast.File) []Directive {
 					d.Name = fields[1]
 				}
 				d.Reason = strings.Join(fields[2:], " ")
-			case "ordered":
+			case "ordered", "scratch", "hotpath":
 				d.Reason = strings.Join(fields[1:], " ")
 			}
 			out = append(out, d)
@@ -170,15 +186,42 @@ func OrderedAt(dirs []Directive, line int) bool {
 	return false
 }
 
+// FuncDirective returns the directive of the given verb attached to a
+// function declaration: a //sadplint:<verb> line inside the func's doc
+// comment or on the line immediately above the declaration. The bool
+// reports presence even when the mandatory reason is missing (callers
+// report that separately).
+func FuncDirective(fset *token.FileSet, dirs []Directive, fd *ast.FuncDecl, verb string) (Directive, bool) {
+	funcLine := fset.Position(fd.Pos()).Line
+	lo := funcLine - 1
+	if fd.Doc != nil {
+		lo = fset.Position(fd.Doc.Pos()).Line
+	}
+	for _, d := range dirs {
+		if d.Verb == verb && d.Line >= lo && d.Line <= funcLine {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
 // RunAnalyzers type-checks nothing itself: pkgs must already carry
-// syntax and types. It runs every analyzer over every package,
-// applies //sadplint:ignore suppressions, reports malformed
-// directives (a suppression without a reason is itself a violation —
-// the suite's "zero unexplained suppressions" rule), and returns the
-// surviving diagnostics sorted by position.
+// syntax and types. It runs every analyzer over every package —
+// dependencies first, so cross-package facts are available — applies
+// //sadplint:ignore suppressions, reports malformed directives (a
+// suppression or scratch/hotpath marker without a reason is itself a
+// violation — the suite's "zero unexplained suppressions" rule), and
+// returns the surviving diagnostics sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(pkgs, analyzers, NewFactStore())
+}
+
+// RunAnalyzersFacts is RunAnalyzers with a caller-supplied fact
+// store, pre-seeded with dependency facts (unit mode) or inspected
+// afterwards (tests).
+func RunAnalyzersFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var all []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range sortByDeps(pkgs) {
 		// Parse the suppression directives once per file.
 		byFile := make(map[string][]Directive)
 		for _, f := range pkg.Files {
@@ -186,10 +229,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			dirs := Directives(pkg.Fset, f)
 			byFile[name] = dirs
 			for _, d := range dirs {
-				if d.Verb == "ignore" && (d.Name == "" || d.Reason == "") {
+				switch {
+				case d.Verb == "ignore" && (d.Name == "" || d.Reason == ""):
 					all = append(all, Diagnostic{
 						Pos:      pkg.Fset.Position(d.Pos),
 						Message:  "malformed //sadplint:ignore: want \"//sadplint:ignore <analyzer> <reason>\"",
+						Analyzer: "sadplint",
+					})
+				case (d.Verb == "scratch" || d.Verb == "hotpath") && d.Reason == "":
+					all = append(all, Diagnostic{
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  fmt.Sprintf("malformed //sadplint:%s: want \"//sadplint:%s <reason>\"", d.Verb, d.Verb),
 						Analyzer: "sadplint",
 					})
 				}
@@ -203,6 +253,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {

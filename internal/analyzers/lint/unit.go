@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // This file implements the command-line protocol `go vet -vettool=X`
@@ -37,6 +38,7 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -49,9 +51,13 @@ type importerFunc func(path string) (*types.Package, error)
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // RunUnit analyzes the compilation unit described by cfgFile and
-// returns its diagnostics. The VetxOutput facts file is always
-// written (empty — sadplint's analyzers are package-local and export
-// no facts) because `go vet` treats it as a required build artifact.
+// returns its diagnostics. Dependency facts are read from the .vetx
+// files listed in PackageVetx and the union of imported and newly
+// exported facts is serialized to VetxOutput, which `go vet` treats
+// as a required build artifact. VetxOnly units (dependencies of the
+// vetted packages) still run the analyzers when they belong to this
+// module — their diagnostics are discarded but their facts feed the
+// packages under analysis; foreign VetxOnly units are skipped.
 func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -61,13 +67,30 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("sadplint has no facts\n"), 0o666); err != nil {
-			return nil, err
+
+	facts := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetx); err == nil {
+			facts.Merge(data)
 		}
 	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
-		return nil, nil
+	writeFacts := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		data, err := facts.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, data, 0o666)
+	}
+
+	// Only this module's packages carry sadplint facts; analyzing the
+	// standard library (or any other dependency `go vet` schedules as a
+	// facts-only unit) would be pure waste.
+	ours := strings.HasPrefix(normalizePkgPath(cfg.ImportPath), "repro")
+	if len(cfg.GoFiles) == 0 || (cfg.VetxOnly && !ours) {
+		return nil, writeFacts()
 	}
 
 	fset := token.NewFileSet()
@@ -76,7 +99,7 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil // the compiler will report it
+				return nil, writeFacts() // the compiler will report it
 			}
 			return nil, err
 		}
@@ -94,17 +117,27 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkg, info, err := Check(cfg.ImportPath, fset, files, imp)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeFacts()
 		}
 		return nil, err
 	}
-	return RunAnalyzers([]*Package{{
+	diags, err := RunAnalyzersFacts([]*Package{{
 		PkgPath: cfg.ImportPath,
 		Fset:    fset,
 		Files:   files,
 		Types:   pkg,
 		Info:    info,
-	}}, analyzers)
+	}}, analyzers, facts)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFacts(); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
 }
 
 // PrintVersion implements -V=full: the fingerprint is a content hash

@@ -1,0 +1,646 @@
+// Package lockorder checks two whole-program locking invariants the
+// per-function lockcheck analyzer cannot see:
+//
+//  1. Lock-acquisition order. Every `x.Lock()` reached while other
+//     mutexes are held contributes an order edge held→acquired; calls
+//     into functions that (transitively) acquire locks contribute
+//     edges through cross-package "acquires" facts. A cycle in the
+//     resulting graph is a potential deadlock — e.g. the documented
+//     coordinator rule "mu is the outermost lock; the service's own
+//     locks are acquired inside it" is exactly the assertion that
+//     cluster.Coordinator.mu → service.Server.mu never gains a
+//     reverse edge.
+//
+//  2. Unlocked windows. The unlock-validate-relock pattern (PR 9's
+//     handleResult) reads `guarded by mu` state under the lock,
+//     unlocks to do slow work, then relocks and revalidates. Values
+//     derived from guarded state — pointers, maps, slices — that are
+//     *used* inside the unlocked window refer to state another
+//     goroutine may be mutating; each such use must either move back
+//     under the lock or carry an explicit justification. Channels are
+//     deliberately not tracked: snapshotting a notify channel and
+//     receiving on it after Unlock is the sanctioned long-poll
+//     pattern.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers/lint"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &lint.Analyzer{
+	Name: analyzerName,
+	Doc: "build the cross-package lock-acquisition-order graph and report cycles, " +
+		"and report uses of guarded-state-derived values inside unlocked windows",
+	Run: run,
+}
+
+const analyzerName = "lockorder"
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// Lock states of one mutex inside one function.
+const (
+	notHeld  = 0
+	held     = 1
+	released = 2 // was held, currently unlocked: the window
+)
+
+var acquireOps = map[string]bool{"Lock": true, "TryLock": true, "RLock": true, "TryRLock": true}
+var releaseOps = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func run(pass *lint.Pass) error {
+	files := pass.NonTestFiles()
+	guards := collectGuards(pass, files)
+
+	var fns []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+			}
+		}
+	}
+
+	// Phase 1: "acquires" facts. Each function's fact is the set of
+	// mutexes it may lock, directly or through callees, iterated to a
+	// fixpoint so intra-package call order does not matter.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			acq := map[string]bool{}
+			if prev, ok := pass.FactOf(obj); ok && prev != "" {
+				for _, m := range strings.Split(prev, ",") {
+					acq[m] = true
+				}
+			}
+			before := len(acq)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // closures run on their own goroutine/time
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if m, op := lockSite(pass.TypesInfo, call); m != "" && acquireOps[op] {
+					acq[m] = true
+				}
+				if callee := calleeOf(pass.TypesInfo, call); callee != nil {
+					if fact, ok := pass.FactOf(callee); ok && fact != "" {
+						for _, m := range strings.Split(fact, ",") {
+							acq[m] = true
+						}
+					}
+				}
+				return true
+			})
+			if len(acq) != before {
+				changed = true
+			}
+			if len(acq) > 0 {
+				pass.ExportFact(obj, strings.Join(sortedKeys(acq), ","))
+			}
+		}
+	}
+
+	// Phase 2: per-function CFG dataflow — order edges and unlocked
+	// windows.
+	c := &checker{pass: pass, guards: guards, edges: map[string]edge{}}
+	for _, fd := range fns {
+		c.checkFunc(fd)
+	}
+
+	// Phase 3: merge this package's edges into the fact store and
+	// report any cycle a new edge closes.
+	c.reportCycles()
+	return nil
+}
+
+// collectGuards maps struct field objects annotated `guarded by X` to
+// the mutex identity pkg.Type.X.
+func collectGuards(pass *lint.Pass, files []*ast.File) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					guard := ""
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if cg == nil {
+							continue
+						}
+						if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+							guard = m[1]
+						}
+					}
+					if guard == "" {
+						continue
+					}
+					id := normalizePkgPath(pass.Pkg.Path()) + "." + ts.Name.Name + "." + guard
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							guards[obj] = id
+						}
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+type edge struct {
+	from, to string
+	pos      ast.Node
+}
+
+type checker struct {
+	pass   *lint.Pass
+	guards map[types.Object]string
+	edges  map[string]edge // "from\x00to" → first occurrence this package
+}
+
+// mstate is the dataflow state: per-mutex lock state, current
+// acquisition order, and which locals derive from guarded state.
+type mstate struct {
+	locks   map[string]int
+	order   []string
+	derived map[types.Object]string // local → guarding mutex id
+}
+
+func copyM(s *mstate) *mstate {
+	out := &mstate{
+		locks:   make(map[string]int, len(s.locks)),
+		order:   append([]string(nil), s.order...),
+		derived: make(map[types.Object]string, len(s.derived)),
+	}
+	for k, v := range s.locks {
+		out.locks[k] = v
+	}
+	for k, v := range s.derived {
+		out.derived[k] = v
+	}
+	return out
+}
+
+// joinM merges paths. Lock states join to the maximum (notHeld < held
+// < released): a mutex released on either incoming path opens the
+// window at the join.
+func joinM(dst, src *mstate) bool {
+	changed := false
+	for k, v := range src.locks {
+		if v > dst.locks[k] {
+			dst.locks[k] = v
+			changed = true
+		}
+	}
+	for _, m := range src.order {
+		if dst.locks[m] == held && !contains(dst.order, m) {
+			dst.order = append(dst.order, m)
+			changed = true
+		}
+	}
+	for k, v := range src.derived {
+		if _, ok := dst.derived[k]; !ok {
+			dst.derived[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	g := lint.BuildCFG(fd.Body)
+	reported := map[types.Object]bool{}
+	report := false
+	transfer := func(n ast.Node, _ *lint.Block, s *mstate) {
+		c.transfer(n, s, report, reported)
+	}
+	in := lint.Forward(g, lint.Flow[*mstate]{
+		Entry:    &mstate{locks: map[string]int{}, derived: map[types.Object]string{}},
+		Copy:     copyM,
+		Join:     joinM,
+		Transfer: transfer,
+	})
+	report = true
+	for i, blk := range g.Blocks {
+		if in[i] == nil {
+			in[i] = &mstate{locks: map[string]int{}, derived: map[types.Object]string{}}
+		}
+		s := copyM(in[i])
+		for _, n := range blk.Nodes {
+			c.transfer(n, s, report, reported)
+		}
+	}
+}
+
+func (c *checker) transfer(n ast.Node, s *mstate, report bool, reported map[types.Object]bool) {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		c.assign(as, s, report, reported)
+		return
+	}
+	c.walkExpr(n, s, report, reported)
+}
+
+// walkExpr handles lock operations, acquires-fact calls and
+// window-use reports inside one straight-line node.
+func (c *checker) walkExpr(n ast.Node, s *mstate, report bool, reported map[types.Object]bool) {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.call(nd, s, report)
+			return true
+		case *ast.Ident:
+			c.useCheck(nd, s, report, reported)
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr, s *mstate, report bool) {
+	if m, op := lockSite(c.pass.TypesInfo, call); m != "" {
+		switch {
+		case acquireOps[op]:
+			for _, h := range s.order {
+				if h != m {
+					c.addEdge(h, m, call)
+				}
+			}
+			if s.locks[m] != held {
+				s.locks[m] = held
+				s.order = append(s.order, m)
+			}
+			// Relocking closes the window: derived values are expected to
+			// be revalidated, and stale ones are the revalidation code's
+			// responsibility now.
+			for k, g := range s.derived {
+				if g == m {
+					delete(s.derived, k)
+				}
+			}
+		case releaseOps[op]:
+			if s.locks[m] == held {
+				s.locks[m] = released
+			}
+			s.order = remove(s.order, m)
+		}
+		return
+	}
+	callee := calleeOf(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if fact, ok := c.pass.FactOf(callee); ok && fact != "" {
+		for _, m := range strings.Split(fact, ",") {
+			for _, h := range s.order {
+				if h != m {
+					c.addEdge(h, m, call)
+				}
+			}
+		}
+	}
+}
+
+// useCheck reports a read of a guarded-state-derived value inside the
+// unlocked window, once per value per function.
+func (c *checker) useCheck(id *ast.Ident, s *mstate, report bool, reported map[types.Object]bool) {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	m, ok := s.derived[obj]
+	if !ok || s.locks[m] != released {
+		return
+	}
+	if report && !reported[obj] {
+		reported[obj] = true
+		c.pass.Reportf(id.Pos(),
+			"%s derives from %s-guarded state and is used in the unlocked window; re-read it under the lock or justify with //sadplint:ignore lockorder",
+			id.Name, shortMutex(m))
+	}
+}
+
+func (c *checker) assign(as *ast.AssignStmt, s *mstate, report bool, reported map[types.Object]bool) {
+	// RHS first: lock ops, window uses, and derivedness.
+	derivedFrom := ""
+	for _, rhs := range as.Rhs {
+		c.walkExpr(rhs, s, report, reported)
+		if m := c.derivedMutex(rhs, s); m != "" {
+			derivedFrom = m
+		}
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			// Stores through selectors/indices: the base is a use.
+			c.walkExpr(lhs, s, report, reported)
+			continue
+		}
+		if id.Name == "_" {
+			continue
+		}
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if derivedFrom != "" && trackable(obj.Type()) {
+			s.derived[obj] = derivedFrom
+		} else {
+			delete(s.derived, obj)
+		}
+	}
+}
+
+// derivedMutex reports the guard of any guarded field read (while its
+// mutex is held) or already-derived value inside the expression.
+func (c *checker) derivedMutex(e ast.Expr, s *mstate) string {
+	found := ""
+	ast.Inspect(e, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			if obj := c.pass.TypesInfo.Uses[nd.Sel]; obj != nil {
+				if m, ok := c.guards[obj]; ok && s.locks[m] == held {
+					found = m
+				}
+			}
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Uses[nd]; obj != nil {
+				if m, ok := s.derived[obj]; ok {
+					found = m
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) addEdge(from, to string, at ast.Node) {
+	key := from + "\x00" + to
+	if _, ok := c.edges[key]; !ok {
+		c.edges[key] = edge{from: from, to: to, pos: at}
+	}
+}
+
+// reportCycles merges the package's edges into the cross-package fact
+// graph and reports every cycle a newly added edge closes.
+func (c *checker) reportCycles() {
+	// Existing graph from facts (dependencies and earlier passes).
+	graph := map[string][]string{}
+	for _, k := range c.pass.Facts.Keys(analyzerName) {
+		if from, to, ok := cutEdgeKey(k); ok {
+			graph[from] = append(graph[from], to)
+		}
+	}
+	var newEdges []edge
+	for _, k := range sortedEdgeKeys(c.edges) {
+		e := c.edges[k]
+		factKey := "edge:" + e.from + "->" + e.to
+		if _, exists := c.pass.Facts.Get(analyzerName, factKey); !exists {
+			newEdges = append(newEdges, e)
+		}
+		c.pass.Facts.Set(analyzerName, factKey, c.pass.Fset.Position(e.pos.Pos()).String())
+		graph[e.from] = appendUnique(graph[e.from], e.to)
+	}
+	seenCycle := map[string]bool{}
+	for _, e := range newEdges {
+		if path := findPath(graph, e.to, e.from); path != nil {
+			// path runs e.to → … → e.from; prepending e.from closes the
+			// cycle e.from → e.to → … → e.from.
+			cycle := append([]string{e.from}, path...)
+			key := canonicalCycle(cycle[:len(cycle)-1])
+			if seenCycle[key] {
+				continue
+			}
+			seenCycle[key] = true
+			short := make([]string, len(cycle))
+			for i, m := range cycle {
+				short[i] = shortMutex(m)
+			}
+			c.pass.Reportf(e.pos.Pos(),
+				"acquiring %s while holding %s creates a lock-order cycle: %s",
+				shortMutex(e.to), shortMutex(e.from), strings.Join(short, " -> "))
+		}
+	}
+}
+
+// findPath returns a path from→…→to in graph, or nil.
+func findPath(graph map[string][]string, from, to string) []string {
+	type frame struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	stack := []frame{{from, []string{from}}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.node == to {
+			return f.path
+		}
+		succs := append([]string(nil), graph[f.node]...)
+		sort.Strings(succs)
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, append(append([]string(nil), f.path...), s)})
+			}
+		}
+	}
+	return nil
+}
+
+// lockSite recognizes `<expr>.Lock()` and friends, returning the
+// mutex identity and the operation name. Only named mutexes — struct
+// fields and package-level vars — get identities; locals return "".
+func lockSite(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	op := sel.Sel.Name
+	if !acquireOps[op] && !releaseOps[op] {
+		return "", ""
+	}
+	// The method must come from the sync package (or embed it).
+	if obj := info.Uses[sel.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", ""
+		}
+	}
+	return mutexIdent(info, sel.X), op
+}
+
+// mutexIdent names the mutex expression: pkg.Type.field for struct
+// fields, pkg.name for package-level vars, "" otherwise.
+func mutexIdent(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		obj := info.Uses[e.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if tv, ok := info.Types[e.X]; ok {
+			if name := namedTypeName(tv.Type); name != "" {
+				return normalizePkgPath(obj.Pkg().Path()) + "." + name + "." + obj.Name()
+			}
+		}
+		return normalizePkgPath(obj.Pkg().Path()) + "." + obj.Name()
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return normalizePkgPath(obj.Pkg().Path()) + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// trackable limits derived-value tracking to reference types whose
+// pointee another goroutine can mutate. Channels are excluded by
+// design (the notify-channel snapshot pattern).
+func trackable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// shortMutex trims the identity to Type.field for messages.
+func shortMutex(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		id = id[i+1:]
+	}
+	if i := strings.IndexByte(id, '.'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func normalizePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+func cutEdgeKey(k string) (string, string, bool) {
+	rest, ok := strings.CutPrefix(k, "edge:")
+	if !ok {
+		return "", "", false
+	}
+	from, to, ok := strings.Cut(rest, "->")
+	return from, to, ok
+}
+
+func canonicalCycle(cycle []string) string {
+	// Rotate so the lexicographically smallest node leads.
+	min := 0
+	for i, m := range cycle {
+		if m < cycle[min] {
+			min = i
+		}
+	}
+	out := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(out, "->")
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedEdgeKeys(m map[string]edge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func appendUnique(s []string, v string) []string {
+	if contains(s, v) {
+		return s
+	}
+	return append(s, v)
+}

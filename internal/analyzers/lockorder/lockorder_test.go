@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/lint/linttest"
+	"repro/internal/analyzers/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "testdata/locks", "example.org/lockfixture", lockorder.Analyzer)
+}

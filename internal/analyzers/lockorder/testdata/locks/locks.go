@@ -1,0 +1,111 @@
+// Package lockfixture exercises the lockorder analyzer: two mutexes
+// acquired in both orders (a cycle), a transitive acquisition through a
+// callee fact, and the unlock-validate-relock window pattern.
+package lockfixture
+
+import "sync"
+
+// A owns jobs.
+type A struct {
+	mu sync.Mutex
+	// jobs is guarded by mu.
+	jobs map[string]*Job
+}
+
+// B is a second lock domain.
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Job is the guarded record.
+type Job struct {
+	ID   string
+	done chan struct{}
+}
+
+var (
+	a A
+	b B
+)
+
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.jobs = nil
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockB only touches b; callers holding a.mu inherit the a->b edge
+// through lockB's exported acquires fact.
+func lockB() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func transitiveAB() {
+	a.mu.Lock()
+	lockB()
+	a.mu.Unlock()
+}
+
+// --- unlocked-window misuse (flagged) ---
+
+func sink(*Job)      {}
+func sinkStr(string) {}
+
+func windowUse(key string) {
+	a.mu.Lock()
+	j := a.jobs[key]
+	a.mu.Unlock()
+	sink(j) // want "unlocked window"
+}
+
+// --- sanctioned (clean) ---
+
+// windowRelock re-reads under the lock: the canonical fix.
+func windowRelock(key string) {
+	a.mu.Lock()
+	j := a.jobs[key]
+	_ = j
+	a.mu.Unlock()
+	a.mu.Lock()
+	j = a.jobs[key]
+	sink(j)
+	a.mu.Unlock()
+}
+
+// windowChannel snapshots a channel; channels are synchronization
+// points and exempt from derived tracking.
+func windowChannel(key string) {
+	a.mu.Lock()
+	ch := a.jobs[key].done
+	a.mu.Unlock()
+	<-ch
+}
+
+// windowValueCopy copies a plain string out; value copies are safe.
+func windowValueCopy(key string) {
+	a.mu.Lock()
+	id := a.jobs[key].ID
+	a.mu.Unlock()
+	sinkStr(id)
+}
+
+func windowSuppressed(key string) {
+	a.mu.Lock()
+	j := a.jobs[key]
+	a.mu.Unlock()
+	//sadplint:ignore lockorder fixture demonstrates a justified suppression
+	sink(j)
+}

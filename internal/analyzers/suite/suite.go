@@ -5,11 +5,14 @@
 package suite
 
 import (
+	"repro/internal/analyzers/arenaesc"
 	"repro/internal/analyzers/cancelpoll"
 	"repro/internal/analyzers/detclock"
 	"repro/internal/analyzers/detmap"
+	"repro/internal/analyzers/hotalloc"
 	"repro/internal/analyzers/lint"
 	"repro/internal/analyzers/lockcheck"
+	"repro/internal/analyzers/lockorder"
 )
 
 // Analyzers is the full sadplint suite.
@@ -18,4 +21,7 @@ var Analyzers = []*lint.Analyzer{
 	detclock.Analyzer,
 	lockcheck.Analyzer,
 	cancelpoll.Analyzer,
+	arenaesc.Analyzer,
+	lockorder.Analyzer,
+	hotalloc.Analyzer,
 }

@@ -9,9 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/analyzers/arenaesc"
 	"repro/internal/analyzers/detmap"
 	"repro/internal/analyzers/lint"
 	"repro/internal/analyzers/lockcheck"
+	"repro/internal/analyzers/lockorder"
 	"repro/internal/analyzers/suite"
 )
 
@@ -70,10 +72,76 @@ func (s *jobStore) injectedDrop(id string) {
 	requireDiagnostic(t, diags, "zz_injected.go", "guarded by s.mu but accessed without holding it")
 }
 
+// TestInjectedLockOrderInversionIsCaught injects into internal/cluster
+// an auxiliary mutex acquired before Coordinator.mu in one function and
+// after it in another: lockorder must report the cycle. Committing such
+// an inversion to the cluster package fails TestRepoIsClean identically.
+func TestInjectedLockOrderInversionIsCaught(t *testing.T) {
+	src := `package cluster
+
+import "sync"
+
+type zzAux struct {
+	mu sync.Mutex
+	n  int
+}
+
+var zzA zzAux
+
+func (c *Coordinator) zzCoordThenAux() {
+	c.mu.Lock()
+	zzA.mu.Lock()
+	zzA.n++
+	zzA.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) zzAuxThenCoord() {
+	zzA.mu.Lock()
+	c.mu.Lock()
+	c.leaseSeq++
+	c.mu.Unlock()
+	zzA.mu.Unlock()
+}
+`
+	diags := analyzeWithInjectionFacts(t, "internal/cluster", "repro/internal/cluster", src, lockorder.Analyzer, lint.NewFactStore())
+	requireDiagnostic(t, diags, "zz_injected.go", "lock-order cycle")
+}
+
+// TestInjectedArenaEscapeIsCaught seeds the cross-package scratch fact
+// for router.Routes (as the router package's own run would export it)
+// and injects a service function that parks the arena-backed slice in a
+// long-lived map: arenaesc must flag the store.
+func TestInjectedArenaEscapeIsCaught(t *testing.T) {
+	src := `package service
+
+import "repro/internal/router"
+
+var zzLeaked = map[string]interface{}{}
+
+func zzInjectedLeak(rt *router.Router) {
+	rs := rt.Routes()
+	zzLeaked["routes"] = rs
+}
+`
+	store := lint.NewFactStore()
+	store.Set("arenaesc", "repro/internal/router.Router.Routes", "scratch")
+	diags := analyzeWithInjectionFacts(t, "internal/service", "repro/internal/service", src, arenaesc.Analyzer, store)
+	requireDiagnostic(t, diags, "zz_injected.go", "stores arena-backed scratch")
+}
+
 // analyzeWithInjection parses the production sources of relDir plus
 // one synthetic file, type-checks the result under the package's real
 // import path, and runs a single analyzer over it.
 func analyzeWithInjection(t *testing.T, relDir, pkgPath, src string, a *lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	return analyzeWithInjectionFacts(t, relDir, pkgPath, src, a, lint.NewFactStore())
+}
+
+// analyzeWithInjectionFacts is analyzeWithInjection with a caller-owned
+// fact store, so drills can pre-seed cross-package facts (e.g. the
+// scratch marker another package's run would have exported).
+func analyzeWithInjectionFacts(t *testing.T, relDir, pkgPath, src string, a *lint.Analyzer, facts *lint.FactStore) []lint.Diagnostic {
 	t.Helper()
 	dir := filepath.Join(repoRoot, relDir)
 	entries, err := os.ReadDir(dir)
@@ -107,7 +175,7 @@ func analyzeWithInjection(t *testing.T, relDir, pkgPath, src string, a *lint.Ana
 		t.Fatalf("type-checking %s with injection: %v", pkgPath, err)
 	}
 	pkg := &lint.Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
-	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	diags, err := lint.RunAnalyzersFacts([]*lint.Package{pkg}, []*lint.Analyzer{a}, facts)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

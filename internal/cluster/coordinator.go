@@ -549,6 +549,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	// the tracking state after relocking.
 	reason := ""
 	var vErr error
+	//sadplint:ignore lockorder deliberate unlock-validate-relock: a's fields are immutable and the decision re-checks tracking state after relocking
 	if req.Key != a.Key {
 		reason, vErr = rejectContentAddress, fmt.Errorf("upload quotes key %.12s, job is %.12s", req.Key, a.Key)
 	} else if success {

@@ -533,12 +533,13 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		for _, id := range resp.Lost {
 			w.mu.Lock()
 			rj := w.running[id]
-			if rj != nil && !rj.abandoned {
+			found := rj != nil
+			if found && !rj.abandoned {
 				rj.abandoned = true
 				rj.cancel()
 			}
 			w.mu.Unlock()
-			if rj != nil {
+			if found {
 				w.logf("worker %s: lease on job %s lost, canceling", w.cfg.ID, id)
 			}
 		}

@@ -73,6 +73,8 @@ func (q *bucketQueue) reset() {
 // push enqueues it. Keys must be non-negative; pushing a key below the
 // current minimum is legal (the cursor backs up), pushing one beyond
 // cur+span grows the ring.
+//
+//sadplint:hotpath bucket push runs per relaxed edge of the search
 func (q *bucketQueue) push(it pqItem) {
 	if it.f < 0 {
 		panic("router: negative key pushed into bucket queue")
@@ -106,6 +108,8 @@ func (q *bucketQueue) push(it pqItem) {
 
 // pop removes and returns the minimum-key item (FIFO among equal
 // keys). The caller must ensure the queue is non-empty.
+//
+//sadplint:hotpath bucket pop runs per expanded node of the search
 func (q *bucketQueue) pop() pqItem {
 	b := &q.buckets[q.cur&q.mask]
 	for b.head == len(b.items) {

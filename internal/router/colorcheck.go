@@ -40,7 +40,8 @@ func (rt *Router) ensureColorable() error {
 			// alone — its new route reflects the bumped prices.
 			pi := rt.g.PIdx(geom.XY(v.X, v.Y))
 			rt.bumpHistVia(v.Layer, pi, rt.cfg.Params.HistInc*CostScale*2)
-			owners := rt.viaOwnersAt(v.Layer, geom.XY(v.X, v.Y))
+			rt.victimBuf = rt.appendViaOwners(rt.victimBuf[:0], v.Layer, geom.XY(v.X, v.Y))
+			owners := rt.victimBuf
 			if len(owners) == 0 {
 				continue
 			}

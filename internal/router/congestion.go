@@ -91,11 +91,14 @@ func (rt *Router) escalatePresFac() {
 	}
 }
 
-// viaOwnersAt returns the nets owning a via at site p of via layer vl,
-// by scanning the nets whose metal occupies both endpoint layers —
-// exactly the nets that could have placed the via.
-func (rt *Router) viaOwnersAt(vl int, p geom.Pt) []int32 {
-	var owners []int32
+// appendViaOwners appends the nets owning a via at site p of via
+// layer vl to dst, by scanning the nets whose metal occupies both
+// endpoint layers — exactly the nets that could have placed the via.
+// Append-style so hot callers (pickFVPVictim) recycle one buffer
+// across the whole rip-up loop.
+//
+//sadplint:hotpath called per candidate site inside the TPL rip-up loop
+func (rt *Router) appendViaOwners(dst []int32, vl int, p geom.Pt) []int32 {
 	for _, id := range rt.g.Metal[vl].Nets(p) {
 		r := rt.routes[id]
 		if r == nil {
@@ -103,10 +106,10 @@ func (rt *Router) viaOwnersAt(vl int, p geom.Pt) []int32 {
 		}
 		for _, v := range r.ViaList() {
 			if v.Layer == vl && v.X == p.X && v.Y == p.Y {
-				owners = append(owners, id)
+				dst = append(dst, id)
 				break
 			}
 		}
 	}
-	return owners
+	return dst
 }

@@ -243,6 +243,8 @@ func unpackXYL(v uint32) geom.Pt3 {
 // over s.heap — the legacy backend kept behind Config.Queue for
 // differential testing against the bucket queue. hPop uses a hole sift
 // (identical comparisons and final layout, half the writes).
+//
+//sadplint:hotpath heap push runs per relaxed edge of the search
 func (s *searchScratch) hPush(it pqItem) {
 	s.heap = append(s.heap, it)
 	h := s.heap
@@ -257,6 +259,7 @@ func (s *searchScratch) hPush(it pqItem) {
 	}
 }
 
+//sadplint:hotpath heap pop runs per expanded node of the search
 func (s *searchScratch) hPop() pqItem {
 	h := s.heap
 	n := len(h) - 1
@@ -285,6 +288,8 @@ func (s *searchScratch) hPop() pqItem {
 
 // push enqueues a state into the selected backend, assigning the next
 // tie-break sequence number.
+//
+//sadplint:hotpath queue push runs per relaxed edge of the search
 func (s *searchScratch) push(f int64, id int32, xyl uint32) {
 	it := pqItem{f: f, id: id, xyl: xyl, seq: s.seq}
 	s.seq++
@@ -296,6 +301,8 @@ func (s *searchScratch) push(f int64, id int32, xyl uint32) {
 }
 
 // queued returns the number of enqueued items.
+//
+//sadplint:hotpath queue size is polled per search iteration
 func (s *searchScratch) queued() int {
 	if s.useHeap {
 		return len(s.heap)
@@ -304,6 +311,8 @@ func (s *searchScratch) queued() int {
 }
 
 // pop dequeues the (f, seq)-minimal item from the selected backend.
+//
+//sadplint:hotpath queue pop runs per expanded node of the search
 func (s *searchScratch) pop() pqItem {
 	if s.useHeap {
 		return s.hPop()
@@ -330,6 +339,8 @@ type routeView interface {
 // component (the current route r plus the listed points) to target,
 // using a window-bounded search that grows on failure up to the whole
 // grid.
+//
+//sadplint:scratch the returned path aliases search scratch, valid until the next search
 func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, net int32) ([]geom.Pt3, error) {
 	return rt.findPathMode(r, connected, target, net, false)
 }
@@ -339,10 +350,13 @@ func (rt *Router) findPath(r routeView, connected []geom.Pt3, target geom.Pt3, n
 // the column at any layer. Steiner junctions are routed this way — a
 // junction is a meeting point of same-net wires, not a terminal, so
 // pinning it to layer 0 would force via stacks for no benefit.
+//
+//sadplint:scratch the returned path aliases search scratch, valid until the next search
 func (rt *Router) findPathColumn(r routeView, connected []geom.Pt3, target geom.Pt3, net int32) ([]geom.Pt3, error) {
 	return rt.findPathMode(r, connected, target, net, true)
 }
 
+//sadplint:scratch the returned path aliases search scratch, valid until the next search
 func (rt *Router) findPathMode(r routeView, connected []geom.Pt3, target geom.Pt3, net int32, anyLayer bool) ([]geom.Pt3, error) {
 	rt.colTarget = anyLayer
 	defer func() { rt.colTarget = false }()
@@ -440,6 +454,9 @@ func (rt *Router) lowerBound(p, target geom.Pt3) int64 {
 // dijkstra runs the goal-directed (A*) variant of the modified
 // Dijkstra search within win. It returns the path source→target and
 // its cost, or ok=false when the target is unreachable in the window.
+//
+//sadplint:hotpath the inner search step; millions of node expansions per job
+//sadplint:scratch the returned path aliases search scratch, valid until the next search
 func (rt *Router) dijkstra(r routeView, sources []source, target geom.Pt3, net int32, win geom.Rect) ([]geom.Pt3, int64, bool) {
 	s := &rt.search
 	s.reset(win, rt.g.NumLayers)
@@ -583,6 +600,8 @@ func (rt *Router) metalNodeCost(p geom.Pt3, net int32) int64 {
 // expected, but cheap to guarantee). The returned slice is scratch,
 // valid only until the next search — callers that keep the path copy
 // it (grid.Route.AddPathCopy).
+//
+//sadplint:scratch returns the reused pathFwd buffer, valid until the next search
 func (s *searchScratch) rebuildPath(id int32) []geom.Pt3 {
 	rev := s.pathRev[:0]
 	for id != -1 {

@@ -115,6 +115,11 @@ type Router struct {
 	// siteBuf is recycled storage for occupied-via-site snapshots
 	// (tpl.AppendSites) taken during TPL bookkeeping.
 	siteBuf []geom.Pt
+	// victimBuf and ripViasBuf are recycled per-violation working sets
+	// of the TPL rip-up loop (candidate victim nets, ripped via
+	// snapshots).
+	victimBuf  []int32
+	ripViasBuf []geom.Pt3
 	// dvicBuf is recycled storage for per-via feasible-DVIC queries in
 	// the cost assignment (≤4 entries, rewritten for every via).
 	dvicBuf []geom.Pt
@@ -284,6 +289,8 @@ func initialBucketSpan(p Params) int64 {
 func (rt *Router) Grid() *grid.Grid { return rt.g }
 
 // Routes returns the per-net routes after Run.
+//
+//sadplint:scratch the Route objects are arena-recycled, valid until Release/reinit
 func (rt *Router) Routes() []*grid.Route { return rt.routes }
 
 // Stats returns the routing statistics after Run.

@@ -193,18 +193,23 @@ func (rt *Router) resolveCongestionStep(cong []geom.Pt3, fvps map[fvpKey]bool) e
 	return nil
 }
 
-// pickFVPVictim selects a net owning a via inside the FVP window.
+// pickFVPVictim selects a net owning a via inside the FVP window. The
+// candidate list lives in a recycled router buffer: the rip-up loop
+// calls this once per violation, thousands of times per job.
+//
+//sadplint:hotpath runs once per FVP violation in the TPL rip-up loop
 func (rt *Router) pickFVPVictim(k fvpKey) int32 {
-	var candidates []int32
+	candidates := rt.victimBuf[:0]
 	for dy := 0; dy < 3; dy++ {
 		for dx := 0; dx < 3; dx++ {
 			p := k.origin.Add(dx, dy)
 			if !rt.g.Vias[k.vl].Has(p) {
 				continue
 			}
-			candidates = append(candidates, rt.viaOwnersAt(k.vl, p)...)
+			candidates = rt.appendViaOwners(candidates, k.vl, p)
 		}
 	}
+	rt.victimBuf = candidates
 	if len(candidates) == 0 {
 		return -1
 	}
@@ -225,18 +230,22 @@ func (rt *Router) bumpFVPHistory(k fvpKey, amount int64) {
 }
 
 // ripUpTracked rips a net and updates FVP and blocked-via bookkeeping
-// around its removed vias. It returns the affected via sites.
-func (rt *Router) ripUpTracked(id int32, fvps map[fvpKey]bool) []geom.Pt3 {
+// around its removed vias. The via snapshot must be taken before the
+// rip (ripUp recycles the Route) and lives in a recycled router
+// buffer — the rip-up loops churn through thousands of nets.
+//
+//sadplint:hotpath runs once per ripped net in the TPL/congestion loops
+func (rt *Router) ripUpTracked(id int32, fvps map[fvpKey]bool) {
 	r := rt.routes[id]
-	var vias []geom.Pt3
+	vias := rt.ripViasBuf[:0]
 	if r != nil {
 		vias = append(vias, r.ViaList()...)
 	}
+	rt.ripViasBuf = vias
 	rt.ripUp(id)
 	for _, v := range vias {
 		rt.refreshAround(v.Layer, geom.XY(v.X, v.Y), fvps)
 	}
-	return vias
 }
 
 // rerouteTracked reroutes a net and updates FVP and blocked-via

@@ -445,11 +445,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Single-flight: an identical submission already queued or running
 	// is returned as-is instead of routing the same input twice.
 	if j, ok := s.running[key]; ok {
-		status := j.response().Status
+		id, status := j.id, j.response().Status
 		s.mu.Unlock()
 		s.metrics.Submitted.Add(1)
 		s.metrics.Deduped.Add(1)
-		writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: j.id, Status: status, Deduped: true})
+		writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: id, Status: status, Deduped: true})
 		return
 	}
 	// Content-addressed cache: identical past submissions answer

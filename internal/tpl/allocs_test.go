@@ -1,0 +1,57 @@
+package tpl
+
+// Allocation ceilings for the //sadplint:hotpath family in this
+// package: the window probes and the site scan run per candidate via
+// inside the router's TPL rip-up loop and must not allocate once their
+// caller-owned buffers are warm.
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestViaProbesAllocFree(t *testing.T) {
+	lv := NewLayerVias(32, 32)
+	for y := 0; y < 32; y += 3 {
+		for x := 0; x < 32; x += 2 {
+			lv.Add(geom.XY(x, y))
+		}
+	}
+	var fvps int
+	avg := testing.AllocsPerRun(100, func() {
+		for y := 1; y < 31; y++ {
+			for x := 1; x < 31; x++ {
+				p := geom.XY(x, y)
+				if lv.WindowAt(p).IsFVP() {
+					fvps++
+				}
+				if lv.WouldCreateFVP(p) {
+					fvps++
+				}
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("WindowAt/IsFVP/WouldCreateFVP allocate %.1f per sweep, want 0 (fvps=%d)", avg, fvps)
+	}
+}
+
+func TestAppendSitesAllocFreeWhenWarm(t *testing.T) {
+	lv := NewLayerVias(32, 32)
+	for y := 0; y < 32; y += 2 {
+		for x := 0; x < 32; x += 2 {
+			lv.Add(geom.XY(x, y))
+		}
+	}
+	pts := lv.AppendSites(nil) // first call sizes the buffer
+	avg := testing.AllocsPerRun(100, func() {
+		pts = lv.AppendSites(pts[:0])
+	})
+	if avg != 0 {
+		t.Errorf("AppendSites into a warm buffer allocates %.1f per call, want 0", avg)
+	}
+	if len(pts) != lv.Len() {
+		t.Errorf("AppendSites returned %d sites, want %d", len(pts), lv.Len())
+	}
+}

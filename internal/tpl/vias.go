@@ -92,19 +92,32 @@ func (lv *LayerVias) SiteList() []geom.Pt {
 
 // AppendSites appends all occupied sites in row-major order to pts and
 // returns the extended slice. Callers on hot paths pass a recycled
-// buffer (pts[:0]) to avoid the per-call allocation of SiteList.
+// buffer (pts[:0]) to avoid the per-call allocation of SiteList. The
+// row scan is inlined rather than delegated to Sites: a func literal
+// here would allocate a closure on every snapshot.
+//
+//sadplint:hotpath snapshots the via set once per TPL bookkeeping pass
 func (lv *LayerVias) AppendSites(pts []geom.Pt) []geom.Pt {
 	if cap(pts)-len(pts) < lv.vias {
 		grown := make([]geom.Pt, len(pts), len(pts)+lv.vias)
 		copy(grown, pts)
 		pts = grown
 	}
-	lv.Sites(func(p geom.Pt) { pts = append(pts, p) })
+	for y := 0; y < lv.h; y++ {
+		row := lv.count[y*lv.w : (y+1)*lv.w]
+		for x := range row {
+			if row[x] > 0 {
+				pts = append(pts, geom.XY(x, y))
+			}
+		}
+	}
 	return pts
 }
 
 // WindowAt extracts the 3×3 window whose lower-left corner is origin.
 // Sites outside the grid read as empty.
+//
+//sadplint:hotpath window extraction runs per candidate site in the recolor loop
 func (lv *LayerVias) WindowAt(origin geom.Pt) Window {
 	var w Window
 	for dy := 0; dy < 3; dy++ {
@@ -216,22 +229,26 @@ func (lv *LayerVias) HasFVP() bool {
 // WouldCreateFVP reports whether inserting one additional via at p
 // would create at least one FVP window. Used for via-site blocking in
 // the TPL violation removal R&R (Fig 10) and for the DVI kill rule.
+// The window-origin scan is inlined rather than delegated to
+// windowOrigins: a func literal here would allocate a closure on
+// every feasibility probe.
+//
+//sadplint:hotpath probed per candidate via site in search and DVI cost loops
 func (lv *LayerVias) WouldCreateFVP(p geom.Pt) bool {
 	if !lv.InBounds(p) {
 		return false
 	}
-	created := false
-	lv.windowOrigins(p, func(o geom.Pt) {
-		if created {
-			return
+	for dy := -2; dy <= 0; dy++ {
+		for dx := -2; dx <= 0; dx++ {
+			o := geom.XY(p.X+dx, p.Y+dy)
+			w := lv.WindowAt(o)
+			nw := w.Set(p.X-o.X, p.Y-o.Y)
+			if nw != w && nw.IsFVP() {
+				return true
+			}
 		}
-		w := lv.WindowAt(o)
-		nw := w.Set(p.X-o.X, p.Y-o.Y)
-		if nw != w && nw.IsFVP() {
-			created = true
-		}
-	})
-	return created
+	}
+	return false
 }
 
 // Conflicts returns the number of occupied sites within the same-color

@@ -90,6 +90,8 @@ func (w Window) diagonalPairs() int {
 // It implements the paper's O(1) rules 1–4 (§II-D); equivalently the
 // chromatic number of the window conflict graph is Count() minus
 // diagonalPairs(), and the pattern is an FVP when that exceeds 3.
+//
+//sadplint:hotpath evaluated per 3×3 window in every FVP scan and probe
 func (w Window) IsFVP() bool {
 	n := w.Count()
 	switch {
